@@ -1,0 +1,540 @@
+//! Interprocedural region and side-effect analysis.
+//!
+//! This module plays the role of the McCAT points-to / connection analysis
+//! and read-write-set infrastructure (Emami/Ghiya/Hendren) that the paper's
+//! possible-placement analysis consumes. It computes, per function:
+//!
+//! * **Region classes** — a unification-based (Steensgaard-style) partition
+//!   of the function's pointer variables: two pointers land in the same
+//!   class when one may point into the data structure reachable from the
+//!   other. This is the *connection* relation of Ghiya & Hendren, made
+//!   field-insensitive and flow-insensitive (strictly coarser, hence safe
+//!   for the kill rules that consume it).
+//! * **Heap effect summaries** — which fields of which *roots* (parameter
+//!   regions or fresh allocations) a function may read or write, including
+//!   effects of its callees, plus which parameter regions it may merge and
+//!   which regions its return value may point into.
+//!
+//! Summaries are computed by a whole-program fixed-point (handles
+//! recursion); the lattice is finite so termination is guaranteed.
+
+use crate::uf::UnionFind;
+use earth_ir::{
+    Basic, FieldId, Function, MemRef, Operand, Place, Program, Rvalue,
+    StmtKind, VarId,
+};
+use std::collections::BTreeSet;
+
+/// A root of a heap region, from a callee's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Root {
+    /// The region reachable from the `i`-th parameter.
+    Param(usize),
+    /// A region allocated within the function (invisible to the caller
+    /// unless returned or merged into a parameter region).
+    Fresh,
+}
+
+/// A field selector in an effect: `None` means the whole struct (block
+/// moves and conservative call effects).
+pub type FieldKey = Option<FieldId>;
+
+/// The heap side-effect summary of one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Fields possibly read, per root region.
+    pub reads: BTreeSet<(Root, FieldKey)>,
+    /// Fields possibly written, per root region.
+    pub writes: BTreeSet<(Root, FieldKey)>,
+    /// Pairs of parameter indices whose regions the function may merge
+    /// (e.g. by storing one into a field of the other).
+    pub merges: BTreeSet<(usize, usize)>,
+    /// Regions the returned pointer may point into (empty for non-pointer
+    /// returns).
+    pub ret_roots: BTreeSet<Root>,
+}
+
+impl Summary {
+    fn is_superset_of(&self, other: &Summary) -> bool {
+        self.reads.is_superset(&other.reads)
+            && self.writes.is_superset(&other.writes)
+            && self.merges.is_superset(&other.merges)
+            && self.ret_roots.is_superset(&other.ret_roots)
+    }
+}
+
+/// Result of the region analysis for one function: the connection classes
+/// of its pointer variables.
+#[derive(Debug, Clone)]
+pub struct Regions {
+    uf: UnionFind,
+    n_vars: usize,
+}
+
+impl Regions {
+    /// The class representative of `v`'s region.
+    pub fn class(&self, v: VarId) -> usize {
+        self.uf.find_const(v.index())
+    }
+
+    /// Whether `a` and `b` may point into the same data structure.
+    pub fn connected(&self, a: VarId, b: VarId) -> bool {
+        self.class(a) == self.class(b)
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Whether the function has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.n_vars == 0
+    }
+}
+
+/// Computes summaries for every function by fixed-point iteration, then
+/// returns them together with per-function region classes.
+///
+/// # Examples
+///
+/// ```
+/// use earth_analysis::{analyze_effects, Root};
+///
+/// let prog = earth_frontend::compile(r#"
+///     struct N { N* next; int v; };
+///     void poke(N *n) { n->v = 1; }
+/// "#).unwrap();
+/// let (summaries, _regions) = analyze_effects(&prog);
+/// let fid = prog.function_by_name("poke").unwrap();
+/// assert!(summaries[fid.index()]
+///     .writes
+///     .iter()
+///     .any(|(root, _)| *root == Root::Param(0)));
+/// ```
+pub fn analyze_effects(prog: &Program) -> (Vec<Summary>, Vec<Regions>) {
+    let n = prog.functions().len();
+    let mut summaries = vec![Summary::default(); n];
+    // Fixed-point: recompute each function's summary from callee summaries
+    // until nothing grows. The lattice height is bounded by
+    // #roots × #fields per function, so this terminates quickly.
+    loop {
+        let mut changed = false;
+        for (id, f) in prog.iter_functions() {
+            let (summary, _regions) = analyze_function(prog, f, &summaries);
+            if !summaries[id.index()].is_superset_of(&summary) {
+                summaries[id.index()] = merge_summaries(&summaries[id.index()], &summary);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let regions = prog
+        .iter_functions()
+        .map(|(_, f)| analyze_function(prog, f, &summaries).1)
+        .collect();
+    (summaries, regions)
+}
+
+fn merge_summaries(a: &Summary, b: &Summary) -> Summary {
+    let mut out = a.clone();
+    out.reads.extend(b.reads.iter().copied());
+    out.writes.extend(b.writes.iter().copied());
+    out.merges.extend(b.merges.iter().copied());
+    out.ret_roots.extend(b.ret_roots.iter().copied());
+    out
+}
+
+/// One pass over a function: builds region classes (given current callee
+/// summaries) and derives this function's own summary.
+fn analyze_function(prog: &Program, f: &Function, summaries: &[Summary]) -> (Summary, Regions) {
+    let n_vars = f.vars().len();
+    let mut uf = UnionFind::new(n_vars);
+
+    // Unification is order-insensitive but call-return unification can
+    // cascade, so iterate the statement walk until no class changes.
+    loop {
+        let mut changed = false;
+        f.body.walk(&mut |s| {
+            if let StmtKind::Basic(b) = &s.kind {
+                changed |= unify_basic(prog, f, b, summaries, &mut uf);
+            }
+            if let StmtKind::Forall { init, step, .. } = &s.kind {
+                for part in [init, step] {
+                    if let StmtKind::Basic(b) = &part.kind {
+                        changed |= unify_basic(prog, f, b, summaries, &mut uf);
+                    }
+                }
+            }
+        });
+        if !changed {
+            break;
+        }
+    }
+
+    // Map each class to the set of parameter indices it contains.
+    let mut class_params: Vec<Vec<usize>> = vec![Vec::new(); n_vars];
+    for (i, &p) in f.params.iter().enumerate() {
+        if f.var(p).ty.is_ptr() {
+            let c = uf.find(p.index());
+            class_params[c].push(i);
+        }
+    }
+    let roots_of = |uf: &mut UnionFind, v: VarId| -> Vec<Root> {
+        let c = uf.find(v.index());
+        if class_params[c].is_empty() {
+            vec![Root::Fresh]
+        } else {
+            class_params[c].iter().map(|&i| Root::Param(i)).collect()
+        }
+    };
+
+    // Collect effects.
+    let mut summary = Summary::default();
+    // Parameter merges.
+    for i in 0..f.params.len() {
+        for j in (i + 1)..f.params.len() {
+            let (pi, pj) = (f.params[i], f.params[j]);
+            if f.var(pi).ty.is_ptr()
+                && f.var(pj).ty.is_ptr()
+                && uf.same(pi.index(), pj.index())
+            {
+                summary.merges.insert((i, j));
+            }
+        }
+    }
+
+    let record = |summary: &mut Summary, uf: &mut UnionFind, base: VarId, field: FieldKey, write: bool| {
+        for root in roots_of(uf, base) {
+            if write {
+                summary.writes.insert((root, field));
+            } else {
+                summary.reads.insert((root, field));
+            }
+        }
+    };
+
+    f.body.walk(&mut |s| {
+        let mut handle = |b: &Basic| {
+            match b {
+                Basic::Assign { dst, src } => {
+                    if let Place::Mem(MemRef::Deref { base, field }) = dst {
+                        record(&mut summary, &mut uf, *base, Some(*field), true);
+                    }
+                    if let Rvalue::Load(MemRef::Deref { base, field }) = src {
+                        record(&mut summary, &mut uf, *base, Some(*field), false);
+                    }
+                }
+                Basic::BlkMov { dir, ptr, .. } => {
+                    let write = matches!(dir, earth_ir::BlkDir::LocalToRemote);
+                    record(&mut summary, &mut uf, *ptr, None, write);
+                }
+                Basic::Call { func, args, .. } => {
+                    let callee_sum = &summaries[func.index()];
+                    let callee = prog.function(*func);
+                    for &(root, field) in &callee_sum.reads {
+                        if let Root::Param(i) = root {
+                            if let Some(Operand::Var(a)) = args.get(i).copied() {
+                                if callee.var(callee.params[i]).ty.is_ptr() {
+                                    record(&mut summary, &mut uf, a, field, false);
+                                }
+                            }
+                        }
+                    }
+                    for &(root, field) in &callee_sum.writes {
+                        if let Root::Param(i) = root {
+                            if let Some(Operand::Var(a)) = args.get(i).copied() {
+                                if callee.var(callee.params[i]).ty.is_ptr() {
+                                    record(&mut summary, &mut uf, a, field, true);
+                                }
+                            }
+                        }
+                    }
+                }
+                Basic::Return(Some(Operand::Var(v)))
+                    if f.var(*v).ty.is_ptr() => {
+                        for root in roots_of(&mut uf, *v) {
+                            summary.ret_roots.insert(root);
+                        }
+                    }
+                _ => {}
+            }
+        };
+        match &s.kind {
+            StmtKind::Basic(b) => handle(b),
+            StmtKind::Forall { init, step, .. } => {
+                for part in [init, step] {
+                    if let StmtKind::Basic(b) = &part.kind {
+                        handle(b);
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+
+    (summary, Regions { uf, n_vars })
+}
+
+/// Applies the unification rules of one basic statement; returns whether
+/// any classes merged.
+fn unify_basic(
+    prog: &Program,
+    f: &Function,
+    b: &Basic,
+    summaries: &[Summary],
+    uf: &mut UnionFind,
+) -> bool {
+    let is_ptr = |v: VarId| f.var(v).ty.is_ptr();
+    let mut changed = false;
+    match b {
+        Basic::Assign { dst, src } => {
+            match (dst, src) {
+                // p = q
+                (Place::Var(d), Rvalue::Use(Operand::Var(s))) if is_ptr(*d) && is_ptr(*s) => {
+                    changed |= uf.union(d.index(), s.index());
+                }
+                // p = q->f or p = s.f with a pointer field: p joins q's
+                // region (everything reachable from q is one region).
+                (Place::Var(d), Rvalue::Load(m)) if is_ptr(*d) => {
+                    let base = m.base();
+                    changed |= uf.union(d.index(), base.index());
+                }
+                // p->f = q or s.f = q with q a pointer: store merges the
+                // regions (q becomes reachable from p).
+                (Place::Mem(m), Rvalue::Use(Operand::Var(s))) if is_ptr(*s) => {
+                    changed |= uf.union(m.base().index(), s.index());
+                }
+                // p = malloc(...): fresh region; nothing to merge.
+                _ => {}
+            }
+        }
+        Basic::Call { dst, func, args, at } => {
+            let callee_sum = &summaries[func.index()];
+            let callee = prog.function(*func);
+            // Parameter-region merges performed by the callee.
+            for &(i, j) in &callee_sum.merges {
+                if let (Some(Operand::Var(a)), Some(Operand::Var(b))) =
+                    (args.get(i).copied(), args.get(j).copied())
+                {
+                    if is_ptr(a) && is_ptr(b) {
+                        changed |= uf.union(a.index(), b.index());
+                    }
+                }
+            }
+            // Returned pointer joins the argument regions it may point into.
+            if let Some(d) = dst {
+                if is_ptr(*d) {
+                    for &root in &callee_sum.ret_roots {
+                        if let Root::Param(i) = root {
+                            if let Some(Operand::Var(a)) = args.get(i).copied() {
+                                if callee.var(callee.params[i]).ty.is_ptr() && is_ptr(a) {
+                                    changed |= uf.union(d.index(), a.index());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = at;
+        }
+        // blkmov moves scalars/pointers by value into a local buffer; the
+        // buffer's pointer *fields* read later via `Load(Field)` are handled
+        // by the load rule above (buffer joins the source region) — the
+        // buffer var itself is a struct, so we merge it with the source
+        // pointer region so that `q = buf.next` connects q to the source.
+        Basic::BlkMov { ptr, buf, .. } => {
+            changed |= uf.union(ptr.index(), buf.index());
+        }
+        _ => {}
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_frontend::compile;
+
+    fn analyze_src(src: &str) -> (Program, Vec<Summary>, Vec<Regions>) {
+        let prog = compile(src).unwrap();
+        let (s, r) = analyze_effects(&prog);
+        (prog, s, r)
+    }
+
+    #[test]
+    fn list_traversal_connects_cursor_to_head() {
+        let (prog, _s, regions) = analyze_src(
+            r#"
+            struct node { node* next; int v; };
+            int sum(node *head) {
+                node *p;
+                int acc;
+                acc = 0;
+                p = head;
+                while (p != NULL) {
+                    acc = acc + p->v;
+                    p = p->next;
+                }
+                return acc;
+            }
+        "#,
+        );
+        let fid = prog.function_by_name("sum").unwrap();
+        let f = prog.function(fid);
+        let head = f.var_by_name("head").unwrap();
+        let p = f.var_by_name("p").unwrap();
+        assert!(regions[fid.index()].connected(head, p));
+    }
+
+    #[test]
+    fn distinct_params_stay_separate() {
+        let (prog, _s, regions) = analyze_src(
+            r#"
+            struct node { node* next; double x; };
+            double f(node *a, node *b) {
+                double t;
+                t = a->x + b->x;
+                return t;
+            }
+        "#,
+        );
+        let fid = prog.function_by_name("f").unwrap();
+        let f = prog.function(fid);
+        let a = f.var_by_name("a").unwrap();
+        let b = f.var_by_name("b").unwrap();
+        assert!(!regions[fid.index()].connected(a, b));
+    }
+
+    #[test]
+    fn store_merges_regions() {
+        let (prog, s, regions) = analyze_src(
+            r#"
+            struct node { node* next; int v; };
+            void link(node *a, node *b) {
+                a->next = b;
+            }
+        "#,
+        );
+        let fid = prog.function_by_name("link").unwrap();
+        let f = prog.function(fid);
+        let a = f.var_by_name("a").unwrap();
+        let b = f.var_by_name("b").unwrap();
+        assert!(regions[fid.index()].connected(a, b));
+        assert!(s[fid.index()].merges.contains(&(0, 1)));
+        assert!(s[fid.index()]
+            .writes
+            .contains(&(Root::Param(0), Some(FieldId(0)))));
+    }
+
+    #[test]
+    fn summaries_propagate_through_calls() {
+        let (prog, s, _r) = analyze_src(
+            r#"
+            struct node { node* next; int v; };
+            void poke(node *x) { x->v = 1; }
+            void caller(node *y) { poke(y); }
+        "#,
+        );
+        let fid = prog.function_by_name("caller").unwrap();
+        assert!(s[fid.index()]
+            .writes
+            .contains(&(Root::Param(0), Some(FieldId(1)))));
+    }
+
+    #[test]
+    fn recursive_summary_terminates_and_is_sound() {
+        let (prog, s, _r) = analyze_src(
+            r#"
+            struct node { node* left; node* right; int v; };
+            int depth(node *t) {
+                int a;
+                int b;
+                if (t == NULL) { return 0; }
+                a = depth(t->left);
+                b = depth(t->right);
+                if (a > b) { return a + 1; }
+                return b + 1;
+            }
+        "#,
+        );
+        let fid = prog.function_by_name("depth").unwrap();
+        let sum = &s[fid.index()];
+        assert!(sum.reads.contains(&(Root::Param(0), Some(FieldId(0)))));
+        assert!(sum.reads.contains(&(Root::Param(0), Some(FieldId(1)))));
+        assert!(sum.writes.is_empty());
+    }
+
+    #[test]
+    fn returned_pointer_connects_at_call_site() {
+        let (prog, _s, regions) = analyze_src(
+            r#"
+            struct node { node* next; int v; };
+            node* advance(node *p) { return p->next; }
+            int use(node *h, node *other) {
+                node *q;
+                q = advance(h);
+                return q->v;
+            }
+        "#,
+        );
+        let fid = prog.function_by_name("use").unwrap();
+        let f = prog.function(fid);
+        let h = f.var_by_name("h").unwrap();
+        let q = f.var_by_name("q").unwrap();
+        let other = f.var_by_name("other").unwrap();
+        assert!(regions[fid.index()].connected(h, q));
+        assert!(!regions[fid.index()].connected(h, other));
+    }
+
+    #[test]
+    fn fresh_allocation_is_unconnected_until_stored() {
+        let (prog, _s, regions) = analyze_src(
+            r#"
+            struct node { node* next; int v; };
+            void build(node *h) {
+                node *n;
+                node *m;
+                n = malloc(sizeof(node));
+                m = malloc(sizeof(node));
+                h->next = n;
+            }
+        "#,
+        );
+        let fid = prog.function_by_name("build").unwrap();
+        let f = prog.function(fid);
+        let h = f.var_by_name("h").unwrap();
+        let n = f.var_by_name("n").unwrap();
+        let m = f.var_by_name("m").unwrap();
+        assert!(regions[fid.index()].connected(h, n));
+        assert!(!regions[fid.index()].connected(h, m));
+    }
+
+    #[test]
+    fn fresh_return_does_not_connect() {
+        let (prog, s, regions) = analyze_src(
+            r#"
+            struct node { node* next; int v; };
+            node* mk() {
+                node *n;
+                n = malloc(sizeof(node));
+                return n;
+            }
+            void use(node *h) {
+                node *f;
+                f = mk();
+                f->v = 3;
+            }
+        "#,
+        );
+        let mk = prog.function_by_name("mk").unwrap();
+        assert!(s[mk.index()].ret_roots.contains(&Root::Fresh));
+        let fid = prog.function_by_name("use").unwrap();
+        let f = prog.function(fid);
+        let h = f.var_by_name("h").unwrap();
+        let fr = f.var_by_name("f").unwrap();
+        assert!(!regions[fid.index()].connected(h, fr));
+    }
+}

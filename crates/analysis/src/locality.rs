@@ -1,0 +1,302 @@
+//! Locality analysis (a simplified version of Zhu & Hendren, PACT'97).
+//!
+//! The EARTH-C compiler assumes every pointer dereference is remote unless
+//! the pointer is declared `local` or proven local. This pass upgrades
+//! pointer declarations from [`Locality::MaybeRemote`] to
+//! [`Locality::Local`] when:
+//!
+//! 1. **Owner-call parameters** — every call to function `g` places the
+//!    call `@OWNER_OF(a_j)` on its own `j`-th argument; then `g`'s `j`-th
+//!    parameter points to memory local to the executing node.
+//! 2. **Local propagation** — a pointer variable whose every definition is
+//!    a copy of a `local` pointer or a plain `malloc()` (which allocates on
+//!    the executing node) is itself local.
+//!
+//! The inference is deliberately conservative: loads (`p = q->next`) never
+//! produce local pointers (the field may point anywhere), and `malloc_on`
+//! with an arbitrary node expression is not considered local.
+//!
+//! The simulator validates soundness at runtime: an access compiled as
+//! local that reaches a remote address aborts the simulation.
+
+use earth_ir::{
+    AtTarget, Basic, FuncId, Locality, Operand, Place, Program, Rvalue, StmtKind, VarId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Result of [`infer_locality`]: which variables were upgraded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocalityReport {
+    /// `(function, variable)` pairs newly marked local.
+    pub upgraded: Vec<(FuncId, VarId)>,
+}
+
+impl LocalityReport {
+    /// Number of upgraded variables.
+    pub fn len(&self) -> usize {
+        self.upgraded.len()
+    }
+
+    /// Whether nothing was upgraded.
+    pub fn is_empty(&self) -> bool {
+        self.upgraded.is_empty()
+    }
+}
+
+/// Runs locality inference, mutating variable declarations in `prog`.
+///
+/// # Examples
+///
+/// ```
+/// let mut prog = earth_frontend::compile(r#"
+///     struct N { int v; };
+///     int peek(N *p) { return p->v; }
+///     int main() {
+///         N *n;
+///         n = malloc(sizeof(N));
+///         n->v = 3;
+///         return peek(n) @ OWNER_OF(n);
+///     }
+/// "#).unwrap();
+/// let report = earth_analysis::infer_locality(&mut prog);
+/// // Both `n` (fresh local allocation) and `peek`'s parameter (always
+/// // called at the owner) become provably local.
+/// assert_eq!(report.len(), 2);
+/// ```
+pub fn infer_locality(prog: &mut Program) -> LocalityReport {
+    let mut report = LocalityReport::default();
+
+    // Rule 1: owner-call parameters. Collect, per function, per parameter
+    // index, whether every call site is `@OWNER_OF` of that same argument.
+    // A function that is never called keeps its declared locality.
+    let mut always_owner: HashMap<(FuncId, usize), bool> = HashMap::new();
+    let mut called: HashSet<FuncId> = HashSet::new();
+    for (_, f) in prog.iter_functions() {
+        f.body.walk(&mut |s| {
+            if let StmtKind::Basic(Basic::Call { func, args, at, .. }) = &s.kind {
+                called.insert(*func);
+                for (j, a) in args.iter().enumerate() {
+                    let owner_here = matches!(
+                        (a, at),
+                        (Operand::Var(v), Some(AtTarget::OwnerOf(o))) if v == o
+                    );
+                    always_owner
+                        .entry((*func, j))
+                        .and_modify(|b| *b &= owner_here)
+                        .or_insert(owner_here);
+                }
+            }
+        });
+    }
+    for ((fid, j), ok) in &always_owner {
+        if !*ok {
+            continue;
+        }
+        let f = prog.function_mut(*fid);
+        let Some(&param) = f.params.get(*j) else {
+            continue;
+        };
+        let d = f.var_mut(param);
+        if d.ty.is_ptr() && d.locality == Locality::MaybeRemote {
+            d.locality = Locality::Local;
+            report.upgraded.push((*fid, param));
+        }
+    }
+
+    // Rule 2: local propagation within each function, to a fixed point.
+    loop {
+        let mut changed = false;
+        let fids: Vec<FuncId> = prog.iter_functions().map(|(id, _)| id).collect();
+        for fid in fids {
+            let f = prog.function(fid);
+            // Collect candidate vars: non-param pointers not yet local.
+            let mut defs: HashMap<VarId, Vec<DefKind>> = HashMap::new();
+            f.body.walk(&mut |s| {
+                let mut record = |b: &Basic| {
+                    match b {
+                        Basic::Assign {
+                            dst: Place::Var(d),
+                            src,
+                        } if f.var(*d).ty.is_ptr() => {
+                            let kind = match src {
+                                Rvalue::Use(Operand::Var(q)) => DefKind::Copy(*q),
+                                Rvalue::Use(Operand::Const(_)) => DefKind::NullOrConst,
+                                Rvalue::Malloc { on: None, .. } => DefKind::LocalMalloc,
+                                _ => DefKind::Other,
+                            };
+                            defs.entry(*d).or_default().push(kind);
+                        }
+                        Basic::Call { dst: Some(d), .. } if f.var(*d).ty.is_ptr() => {
+                            defs.entry(*d).or_default().push(DefKind::Other);
+                        }
+                        _ => {}
+                    }
+                };
+                match &s.kind {
+                    StmtKind::Basic(b) => record(b),
+                    StmtKind::Forall { init, step, .. } => {
+                        for part in [init, step] {
+                            if let StmtKind::Basic(b) = &part.kind {
+                                record(b);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            });
+            let mut upgrades = Vec::new();
+            for (v, def_kinds) in &defs {
+                if f.params.contains(v) {
+                    continue; // parameters also receive values from callers
+                }
+                if f.var(*v).locality == Locality::Local {
+                    continue;
+                }
+                let all_local = !def_kinds.is_empty()
+                    && def_kinds.iter().all(|k| match k {
+                        DefKind::LocalMalloc | DefKind::NullOrConst => true,
+                        DefKind::Copy(q) => f.var(*q).locality == Locality::Local,
+                        DefKind::Other => false,
+                    });
+                if all_local {
+                    upgrades.push(*v);
+                }
+            }
+            if !upgrades.is_empty() {
+                let fm = prog.function_mut(fid);
+                for v in upgrades {
+                    fm.var_mut(v).locality = Locality::Local;
+                    report.upgraded.push((fid, v));
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    report
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DefKind {
+    Copy(VarId),
+    LocalMalloc,
+    NullOrConst,
+    Other,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_frontend::compile;
+
+    #[test]
+    fn owner_call_param_becomes_local() {
+        let mut prog = compile(
+            r#"
+            struct node { node* next; int value; };
+            int caller(node *p, node *x) {
+                int c;
+                c = equal_node(p, x) @ OWNER_OF(p);
+                return c;
+            }
+            int equal_node(node *a, node *b) {
+                return a->value == b->value;
+            }
+        "#,
+        )
+        .unwrap();
+        let report = infer_locality(&mut prog);
+        let eq = prog.function(prog.function_by_name("equal_node").unwrap());
+        let a = eq.var_by_name("a").unwrap();
+        let b = eq.var_by_name("b").unwrap();
+        assert_eq!(eq.var(a).locality, Locality::Local);
+        assert_eq!(eq.var(b).locality, Locality::MaybeRemote);
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn mixed_call_sites_stay_remote() {
+        let mut prog = compile(
+            r#"
+            struct node { node* next; int value; };
+            int caller(node *p, node *x) {
+                int c;
+                int d;
+                c = peek(p) @ OWNER_OF(p);
+                d = peek(x);
+                return c + d;
+            }
+            int peek(node *a) { return a->value; }
+        "#,
+        )
+        .unwrap();
+        infer_locality(&mut prog);
+        let peek = prog.function(prog.function_by_name("peek").unwrap());
+        let a = peek.var_by_name("a").unwrap();
+        assert_eq!(peek.var(a).locality, Locality::MaybeRemote);
+    }
+
+    #[test]
+    fn local_malloc_propagates_through_copies() {
+        let mut prog = compile(
+            r#"
+            struct node { node* next; int value; };
+            node* build() {
+                node *n;
+                node *m;
+                n = malloc(sizeof(node));
+                m = n;
+                m->value = 3;
+                return m;
+            }
+        "#,
+        )
+        .unwrap();
+        let report = infer_locality(&mut prog);
+        let f = prog.function(prog.function_by_name("build").unwrap());
+        for name in ["n", "m"] {
+            let v = f.var_by_name(name).unwrap();
+            assert_eq!(f.var(v).locality, Locality::Local, "{name} should be local");
+        }
+        assert_eq!(report.len(), 2);
+    }
+
+    #[test]
+    fn loads_do_not_become_local() {
+        let mut prog = compile(
+            r#"
+            struct node { node* next; int value; };
+            int f(node local *p) {
+                node *q;
+                q = p->next;
+                return q->value;
+            }
+        "#,
+        )
+        .unwrap();
+        infer_locality(&mut prog);
+        let f = prog.function(prog.function_by_name("f").unwrap());
+        let q = f.var_by_name("q").unwrap();
+        assert_eq!(f.var(q).locality, Locality::MaybeRemote);
+    }
+
+    #[test]
+    fn malloc_on_stays_remote() {
+        let mut prog = compile(
+            r#"
+            struct node { node* next; int value; };
+            node* build(int where) {
+                node *n;
+                n = malloc_on(where, sizeof(node));
+                return n;
+            }
+        "#,
+        )
+        .unwrap();
+        let report = infer_locality(&mut prog);
+        assert!(report.is_empty());
+    }
+}

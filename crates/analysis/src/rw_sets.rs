@@ -1,0 +1,381 @@
+//! Hierarchical read/write sets.
+//!
+//! Every statement — basic *and* compound — is decorated with the set of
+//! stack variables it reads/writes and the heap locations it may touch
+//! (as `(base pointer variable, field)` pairs, where the base identifies a
+//! region via the connection classes of [`crate::effects`]). This mirrors
+//! the McCAT side-effect infrastructure the paper builds on: "Each basic
+//! and compound statement is decorated with the set of locations
+//! read/written."
+
+use crate::effects::{Root, Summary};
+use earth_ir::{
+    Basic, Cond, FieldId, Function, Label, Operand, Place, Program, Rvalue, Stmt,
+    StmtKind, VarId,
+};
+use std::collections::BTreeSet;
+
+/// A single (possibly-remote) heap access within a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct HeapAccess {
+    /// The pointer variable through which the access happens (for call
+    /// effects, the actual argument at the call site).
+    pub base: VarId,
+    /// Accessed field; `None` for whole-struct accesses (block moves,
+    /// whole-struct call effects).
+    pub field: Option<FieldId>,
+    /// `true` when the access is a *syntactic* dereference through `base`
+    /// in this very statement (the paper's "direct" access, identified via
+    /// anchor handles); `false` for accesses that happen inside callees or
+    /// through copies.
+    pub direct: bool,
+}
+
+/// Read/write set of one statement (aggregated over its children for
+/// compound statements).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RwSet {
+    /// Stack variables written (including call result destinations and
+    /// atomic-write targets).
+    pub vars_written: BTreeSet<VarId>,
+    /// Stack variables read.
+    pub vars_read: BTreeSet<VarId>,
+    /// Heap locations possibly read.
+    pub heap_reads: BTreeSet<HeapAccess>,
+    /// Heap locations possibly written.
+    pub heap_writes: BTreeSet<HeapAccess>,
+}
+
+impl RwSet {
+    fn absorb(&mut self, other: &RwSet) {
+        self.vars_written.extend(other.vars_written.iter().copied());
+        self.vars_read.extend(other.vars_read.iter().copied());
+        self.heap_reads.extend(other.heap_reads.iter().copied());
+        self.heap_writes.extend(other.heap_writes.iter().copied());
+    }
+
+    fn read_var(&mut self, o: Operand) {
+        if let Operand::Var(v) = o {
+            self.vars_read.insert(v);
+        }
+    }
+
+    fn read_cond(&mut self, c: &Cond) {
+        for v in c.vars() {
+            self.vars_read.insert(v);
+        }
+    }
+}
+
+/// Per-function table of read/write sets, dense-indexed by [`Label`].
+#[derive(Debug, Clone)]
+pub struct RwSets {
+    sets: Vec<Option<RwSet>>,
+}
+
+impl RwSets {
+    /// Computes read/write sets for every statement of `f`, using the
+    /// callee `summaries` to expand call effects.
+    pub fn compute(prog: &Program, f: &Function, summaries: &[Summary]) -> Self {
+        let mut sets = vec![None; f.label_bound()];
+        compute_stmt(prog, f, summaries, &f.body, &mut sets);
+        RwSets { sets }
+    }
+
+    /// The read/write set of the statement labelled `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` does not belong to the analyzed function.
+    pub fn get(&self, l: Label) -> &RwSet {
+        self.sets[l.0 as usize]
+            .as_ref()
+            .expect("label belongs to the analyzed function")
+    }
+
+    /// Whether statement `l` writes variable `v` (directly).
+    pub fn var_written(&self, v: VarId, l: Label) -> bool {
+        self.get(l).vars_written.contains(&v)
+    }
+}
+
+fn compute_stmt(
+    prog: &Program,
+    f: &Function,
+    summaries: &[Summary],
+    s: &Stmt,
+    sets: &mut Vec<Option<RwSet>>,
+) -> RwSet {
+    let mut rw = RwSet::default();
+    match &s.kind {
+        StmtKind::Seq(ss) | StmtKind::ParSeq(ss) => {
+            for c in ss {
+                let child = compute_stmt(prog, f, summaries, c, sets);
+                rw.absorb(&child);
+            }
+        }
+        StmtKind::Basic(b) => {
+            basic_rw(prog, f, summaries, b, &mut rw);
+        }
+        StmtKind::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
+            rw.read_cond(cond);
+            let t = compute_stmt(prog, f, summaries, then_s, sets);
+            let e = compute_stmt(prog, f, summaries, else_s, sets);
+            rw.absorb(&t);
+            rw.absorb(&e);
+        }
+        StmtKind::Switch {
+            scrut,
+            cases,
+            default,
+        } => {
+            rw.read_var(*scrut);
+            for (_, cs) in cases {
+                let c = compute_stmt(prog, f, summaries, cs, sets);
+                rw.absorb(&c);
+            }
+            let d = compute_stmt(prog, f, summaries, default, sets);
+            rw.absorb(&d);
+        }
+        StmtKind::While { cond, body } => {
+            rw.read_cond(cond);
+            let b = compute_stmt(prog, f, summaries, body, sets);
+            rw.absorb(&b);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            rw.read_cond(cond);
+            let b = compute_stmt(prog, f, summaries, body, sets);
+            rw.absorb(&b);
+        }
+        StmtKind::Forall {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            rw.read_cond(cond);
+            for part in [init, step] {
+                let p = compute_stmt(prog, f, summaries, part, sets);
+                rw.absorb(&p);
+            }
+            let b = compute_stmt(prog, f, summaries, body, sets);
+            rw.absorb(&b);
+        }
+    }
+    sets[s.label.0 as usize] = Some(rw.clone());
+    rw
+}
+
+fn basic_rw(prog: &Program, f: &Function, summaries: &[Summary], b: &Basic, rw: &mut RwSet) {
+    for o in b.operands() {
+        rw.read_var(o);
+    }
+    match b {
+        Basic::Assign { dst, src } => {
+            match dst {
+                Place::Var(v) => {
+                    rw.vars_written.insert(*v);
+                }
+                Place::Mem(m) => {
+                    rw.vars_read.insert(m.base());
+                    if m.is_deref() {
+                        rw.heap_writes.insert(HeapAccess {
+                            base: m.base(),
+                            field: Some(m.field()),
+                            direct: true,
+                        });
+                    } else {
+                        // Local struct-variable field write: model as a
+                        // write to the struct variable itself.
+                        rw.vars_written.insert(m.base());
+                    }
+                }
+            }
+            match src {
+                Rvalue::Load(m) => {
+                    rw.vars_read.insert(m.base());
+                    if m.is_deref() {
+                        rw.heap_reads.insert(HeapAccess {
+                            base: m.base(),
+                            field: Some(m.field()),
+                            direct: true,
+                        });
+                    }
+                }
+                Rvalue::ValueOf(v) => {
+                    rw.vars_read.insert(*v);
+                }
+                _ => {}
+            }
+        }
+        Basic::Call { dst, func, args, at } => {
+            if let Some(d) = dst {
+                rw.vars_written.insert(*d);
+            }
+            if let Some(earth_ir::AtTarget::OwnerOf(p)) = at {
+                rw.vars_read.insert(*p);
+            }
+            let callee = prog.function(*func);
+            let sum = &summaries[func.index()];
+            let map_effects =
+                |effects: &BTreeSet<(Root, Option<FieldId>)>, out: &mut BTreeSet<HeapAccess>| {
+                    for &(root, field) in effects {
+                        if let Root::Param(i) = root {
+                            if let Some(Operand::Var(a)) = args.get(i).copied() {
+                                if callee.var(callee.params[i]).ty.is_ptr()
+                                    && f.var(a).ty.is_ptr()
+                                {
+                                    out.insert(HeapAccess {
+                                        base: a,
+                                        field,
+                                        direct: false,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                };
+            map_effects(&sum.reads, &mut rw.heap_reads);
+            map_effects(&sum.writes, &mut rw.heap_writes);
+        }
+        Basic::Return(_) => {}
+        Basic::BlkMov { dir, ptr, buf, .. } => {
+            rw.vars_read.insert(*ptr);
+            match dir {
+                earth_ir::BlkDir::RemoteToLocal => {
+                    rw.vars_written.insert(*buf);
+                    rw.heap_reads.insert(HeapAccess {
+                        base: *ptr,
+                        field: None,
+                        direct: true,
+                    });
+                }
+                earth_ir::BlkDir::LocalToRemote => {
+                    rw.vars_read.insert(*buf);
+                    rw.heap_writes.insert(HeapAccess {
+                        base: *ptr,
+                        field: None,
+                        direct: true,
+                    });
+                }
+            }
+        }
+        Basic::AtomicWrite { var, .. } | Basic::AtomicAdd { var, .. } => {
+            rw.vars_written.insert(*var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::analyze_effects;
+    use earth_frontend::compile;
+
+    fn setup(src: &str) -> (Program, RwSets, earth_ir::FuncId) {
+        let prog = compile(src).unwrap();
+        let (summaries, _) = analyze_effects(&prog);
+        let fid = earth_ir::FuncId(0);
+        let sets = RwSets::compute(&prog, prog.function(fid), &summaries);
+        (prog, sets, fid)
+    }
+
+    #[test]
+    fn basic_stmt_sets() {
+        let (prog, sets, fid) = setup(
+            r#"
+            struct node { node* next; int v; };
+            int f(node *p) {
+                int t;
+                t = p->v;
+                p->v = t;
+                return t;
+            }
+        "#,
+        );
+        let f = prog.function(fid);
+        let stmts = f.basic_stmts();
+        let p = f.var_by_name("p").unwrap();
+        let t = f.var_by_name("t").unwrap();
+        // t = p->v
+        let (l0, _) = stmts[0];
+        assert!(sets.var_written(t, l0));
+        assert!(sets.get(l0).heap_reads.iter().any(|h| h.base == p && h.direct));
+        // p->v = t
+        let (l1, _) = stmts[1];
+        assert!(sets.get(l1).heap_writes.iter().any(|h| h.base == p));
+        assert!(sets.get(l1).vars_read.contains(&t));
+    }
+
+    #[test]
+    fn loop_aggregates_body() {
+        let (prog, sets, fid) = setup(
+            r#"
+            struct node { node* next; int v; };
+            int f(node *p) {
+                int acc;
+                acc = 0;
+                while (p != NULL) {
+                    acc = acc + p->v;
+                    p = p->next;
+                }
+                return acc;
+            }
+        "#,
+        );
+        let f = prog.function(fid);
+        let p = f.var_by_name("p").unwrap();
+        // Find the while statement's label.
+        let mut while_label = None;
+        f.body.walk(&mut |s| {
+            if matches!(s.kind, StmtKind::While { .. }) {
+                while_label = Some(s.label);
+            }
+        });
+        let rw = sets.get(while_label.unwrap());
+        assert!(rw.vars_written.contains(&p), "loop writes p");
+        assert!(rw.heap_reads.iter().any(|h| h.base == p));
+    }
+
+    #[test]
+    fn call_effects_mapped_to_args() {
+        let (prog, sets, fid) = setup(
+            r#"
+            struct node { node* next; int v; };
+            void caller(node *y) { poke(y); }
+            void poke(node *x) { x->v = 1; }
+        "#,
+        );
+        let f = prog.function(fid);
+        let y = f.var_by_name("y").unwrap();
+        let (l, _) = f.basic_stmts()[0];
+        let rw = sets.get(l);
+        assert!(
+            rw.heap_writes
+                .iter()
+                .any(|h| h.base == y && h.field == Some(FieldId(1)) && !h.direct),
+            "callee write should map to arg y: {rw:?}"
+        );
+    }
+
+    #[test]
+    fn atomic_ops_write_shared_var() {
+        let (prog, sets, fid) = setup(
+            r#"
+            struct node { int v; };
+            void f() {
+                shared int c;
+                addto(&c, 1);
+            }
+        "#,
+        );
+        let f = prog.function(fid);
+        let c = f.var_by_name("c").unwrap();
+        let (l, _) = f.basic_stmts()[0];
+        assert!(sets.var_written(c, l));
+    }
+}

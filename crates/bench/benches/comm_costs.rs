@@ -1,0 +1,21 @@
+//! Criterion bench for the Table I microkernels: measures the host-side
+//! cost of simulating each communication pattern and reports the derived
+//! virtual per-operation costs as custom output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    // Validate once (panics if the derived costs drift from Table I).
+    let rows = earth_bench::table1::measure();
+    println!("\n{}", earth_bench::table1::render(&rows));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("microkernels", |b| {
+        b.iter(|| std::hint::black_box(earth_bench::table1::measure()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench over the Olden suite: simulates every benchmark in the
+//! simple and optimized builds on an 8-node machine (Test preset so the
+//! bench loop stays fast) — the substrate of Figure 10 and Table III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use earth_commopt::CommOptConfig;
+use earth_olden::{run, suite, Build, Preset};
+
+fn bench_olden(c: &mut Criterion) {
+    let mut g = c.benchmark_group("olden");
+    g.sample_size(10);
+    for bench in suite() {
+        g.bench_with_input(
+            BenchmarkId::new("simple", bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| run(bench, &Build::Simple, Preset::Test, 8).expect("runs"))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("optimized", bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    run(
+                        bench,
+                        &Build::Optimized(CommOptConfig::default()),
+                        Preset::Test,
+                        8,
+                    )
+                    .expect("runs")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_olden);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench of the compiler itself: frontend, analyses, and the
+//! communication optimizer over the largest benchmark sources.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use earth_commopt::{optimize_program, CommOptConfig};
+use earth_olden::suite;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    for bench in suite() {
+        g.bench_with_input(
+            BenchmarkId::new("frontend", bench.name),
+            &bench.source,
+            |b, src| b.iter(|| earth_frontend::compile(src).expect("compiles")),
+        );
+        let prog = earth_frontend::compile(bench.source).expect("compiles");
+        g.bench_with_input(
+            BenchmarkId::new("analysis", bench.name),
+            &prog,
+            |b, prog| b.iter(|| earth_analysis::analyze(prog)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("optimize", bench.name),
+            &prog,
+            |b, prog| {
+                b.iter(|| {
+                    let mut p = prog.clone();
+                    optimize_program(&mut p, &CommOptConfig::default())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

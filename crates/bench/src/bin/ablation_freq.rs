@@ -1,0 +1,14 @@
+//! Ablation: sweep the loop-frequency constant of the placement analysis
+//! (paper: x10 per loop level).
+
+use earth_bench::ablation::{freq_variants, render_variants, run_variants};
+
+fn main() {
+    let preset = earth_bench::preset_from_args();
+    let nodes = earth_bench::nodes_from_args();
+    println!("Ablation: loop frequency factor sweep ({preset:?}, {nodes} nodes)\n");
+    for bench in earth_olden::suite() {
+        let results = run_variants(&bench, &freq_variants(), preset, nodes);
+        println!("{}", render_variants(bench.name, &results));
+    }
+}

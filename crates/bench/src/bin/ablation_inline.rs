@@ -1,0 +1,64 @@
+//! Ablation: local function inlining (the paper's Phase-I pass) before
+//! communication optimization — the paper's §6 notes tsp's `distance`
+//! benefits from interprocedural placement achieved "via function
+//! inlining".
+
+use earth_commopt::{inline_functions, optimize_program, CommOptConfig, InlineConfig};
+use earth_olden::suite;
+use earth_sim::{compile, CodegenOptions, Machine, MachineConfig};
+
+fn run(prog: &earth_ir::Program, args: &[earth_sim::Value], nodes: u16) -> earth_sim::RunResult {
+    let cp = compile(prog, CodegenOptions::default()).expect("compiles");
+    let entry = cp.function_by_name("main").expect("main");
+    let mut m = Machine::new(MachineConfig::with_nodes(nodes));
+    m.run(&cp, entry, args).expect("runs")
+}
+
+fn main() {
+    let preset = earth_bench::preset_from_args();
+    let nodes = earth_bench::nodes_from_args();
+    println!("Ablation: inlining before communication optimization ({preset:?}, {nodes} nodes)\n");
+    let mut rows = Vec::new();
+    for bench in suite() {
+        let args = (bench.args)(preset);
+        let base = earth_frontend::compile(bench.source).expect("compiles");
+
+        let mut opt_only = base.clone();
+        optimize_program(&mut opt_only, &CommOptConfig::default());
+        let r_opt = run(&opt_only, &args, nodes);
+
+        let mut inl_opt = base.clone();
+        let inl = inline_functions(&mut inl_opt, &InlineConfig::default());
+        optimize_program(&mut inl_opt, &CommOptConfig::default());
+        let r_both = run(&inl_opt, &args, nodes);
+        assert_eq!(r_opt.ret, r_both.ret, "{}", bench.name);
+
+        rows.push(vec![
+            bench.name.to_string(),
+            inl.inlined_calls.to_string(),
+            earth_bench::render::secs(r_opt.time_ns),
+            earth_bench::render::secs(r_both.time_ns),
+            format!(
+                "{:+.2}",
+                100.0 * (r_opt.time_ns as f64 - r_both.time_ns as f64) / r_opt.time_ns as f64
+            ),
+            r_opt.stats.total_comm().to_string(),
+            r_both.stats.total_comm().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        earth_bench::render::table(
+            &[
+                "benchmark",
+                "inlined",
+                "opt(s)",
+                "inline+opt(s)",
+                "%gain",
+                "comm(opt)",
+                "comm(inl+opt)"
+            ],
+            &rows
+        )
+    );
+}

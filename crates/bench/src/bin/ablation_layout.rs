@@ -1,0 +1,65 @@
+//! Ablation: struct field reordering + partial block moves (the paper's
+//! §7 future work). Compares the communication-optimized build with and
+//! without the layout pass: reordering clusters the remotely-accessed
+//! fields so the blocked transfers shrink (fewer words on the wire).
+
+use earth_commopt::{optimize_program, reorder_fields, CommOptConfig};
+use earth_olden::suite;
+use earth_sim::{compile, CodegenOptions, Machine, MachineConfig};
+
+fn run(prog: &earth_ir::Program, args: &[earth_sim::Value], nodes: u16) -> earth_sim::RunResult {
+    let cp = compile(prog, CodegenOptions::default()).expect("compiles");
+    let entry = cp.function_by_name("main").expect("main");
+    let mut m = Machine::new(MachineConfig::with_nodes(nodes));
+    m.run(&cp, entry, args).expect("runs")
+}
+
+fn main() {
+    let preset = earth_bench::preset_from_args();
+    let nodes = earth_bench::nodes_from_args();
+    println!("Ablation: field reordering + partial block moves ({preset:?}, {nodes} nodes)\n");
+    let mut rows = Vec::new();
+    for bench in suite() {
+        let args = (bench.args)(preset);
+        let base = earth_frontend::compile(bench.source).expect("compiles");
+
+        let mut plain = base.clone();
+        optimize_program(&mut plain, &CommOptConfig::default());
+        let r_plain = run(&plain, &args, nodes);
+
+        let mut laid_out = base.clone();
+        let layout = reorder_fields(&mut laid_out);
+        optimize_program(&mut laid_out, &CommOptConfig::default());
+        let r_layout = run(&laid_out, &args, nodes);
+        assert_eq!(r_plain.ret, r_layout.ret, "{}", bench.name);
+
+        rows.push(vec![
+            bench.name.to_string(),
+            layout.len().to_string(),
+            r_plain.stats.blkmov_words.to_string(),
+            r_layout.stats.blkmov_words.to_string(),
+            earth_bench::render::secs(r_plain.time_ns),
+            earth_bench::render::secs(r_layout.time_ns),
+            format!(
+                "{:+.2}",
+                100.0 * (r_plain.time_ns as f64 - r_layout.time_ns as f64)
+                    / r_plain.time_ns as f64
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        earth_bench::render::table(
+            &[
+                "benchmark",
+                "structs",
+                "blk-words",
+                "blk-words(reord)",
+                "opt(s)",
+                "reord+opt(s)",
+                "%gain"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,69 @@
+//! Ablation: locality inference (the companion analysis of Zhu & Hendren,
+//! PACT'97, run as Phase II's "Locality Analysis" in Figure 2). It
+//! upgrades provably-local pointers so their dereferences compile to plain
+//! local accesses instead of pseudo-remote runtime calls — orthogonal to,
+//! and composing with, the communication optimization.
+
+use earth_analysis::infer_locality;
+use earth_commopt::{optimize_program, CommOptConfig};
+use earth_olden::suite;
+use earth_sim::{compile, CodegenOptions, Machine, MachineConfig};
+
+fn run(prog: &earth_ir::Program, args: &[earth_sim::Value], nodes: u16) -> earth_sim::RunResult {
+    let cp = compile(prog, CodegenOptions::default()).expect("compiles");
+    let entry = cp.function_by_name("main").expect("main");
+    let mut m = Machine::new(MachineConfig::with_nodes(nodes));
+    m.run(&cp, entry, args).expect("runs")
+}
+
+fn main() {
+    let preset = earth_bench::preset_from_args();
+    let nodes = earth_bench::nodes_from_args();
+    println!("Ablation: locality inference ({preset:?}, {nodes} nodes)\n");
+    let mut rows = Vec::new();
+    for bench in suite() {
+        let args = (bench.args)(preset);
+        let base = earth_frontend::compile(bench.source).expect("compiles");
+
+        let simple = run(&base, &args, nodes);
+
+        let mut loc = base.clone();
+        let report = infer_locality(&mut loc);
+        let r_loc = run(&loc, &args, nodes);
+        assert_eq!(simple.ret, r_loc.ret, "{}", bench.name);
+
+        let mut both = loc.clone();
+        optimize_program(&mut both, &CommOptConfig::default());
+        let r_both = run(&both, &args, nodes);
+        assert_eq!(simple.ret, r_both.ret, "{}", bench.name);
+
+        rows.push(vec![
+            bench.name.to_string(),
+            report.len().to_string(),
+            simple.stats.total_comm().to_string(),
+            r_loc.stats.total_comm().to_string(),
+            r_both.stats.total_comm().to_string(),
+            earth_bench::render::secs(simple.time_ns),
+            earth_bench::render::secs(r_loc.time_ns),
+            earth_bench::render::secs(r_both.time_ns),
+        ]);
+    }
+    println!(
+        "{}",
+        earth_bench::render::table(
+            &[
+                "benchmark",
+                "locals",
+                "comm(simple)",
+                "comm(+loc)",
+                "comm(+loc+opt)",
+                "simple(s)",
+                "+loc(s)",
+                "+loc+opt(s)"
+            ],
+            &rows
+        )
+    );
+    println!("\n`locals` = pointers upgraded to local; their dereferences stop being");
+    println!("EARTH runtime calls entirely (the PACT'97 'pseudo-remote' elimination).");
+}

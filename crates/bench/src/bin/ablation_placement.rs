@@ -1,0 +1,14 @@
+//! Ablation: isolate the three optimization components (redundancy
+//! elimination, code motion, blocking).
+
+use earth_bench::ablation::{component_variants, render_variants, run_variants};
+
+fn main() {
+    let preset = earth_bench::preset_from_args();
+    let nodes = earth_bench::nodes_from_args();
+    println!("Ablation: optimization components ({preset:?}, {nodes} nodes)\n");
+    for bench in earth_olden::suite() {
+        let results = run_variants(&bench, &component_variants(), preset, nodes);
+        println!("{}", render_variants(bench.name, &results));
+    }
+}

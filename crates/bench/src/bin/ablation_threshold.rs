@@ -1,0 +1,13 @@
+//! Ablation: sweep the pipelining-vs-blocking threshold (paper: 3).
+
+use earth_bench::ablation::{render_variants, run_variants, threshold_variants};
+
+fn main() {
+    let preset = earth_bench::preset_from_args();
+    let nodes = earth_bench::nodes_from_args();
+    println!("Ablation: blocking threshold sweep ({preset:?}, {nodes} nodes)\n");
+    for bench in earth_olden::suite() {
+        let results = run_variants(&bench, &threshold_variants(), preset, nodes);
+        println!("{}", render_variants(bench.name, &results));
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 10: dynamic communication counts,
+//! simple vs optimized, normalized to simple = 100.
+
+fn main() {
+    let preset = earth_bench::preset_from_args();
+    let nodes = earth_bench::nodes_from_args();
+    println!("Figure 10: dynamic communication counts ({preset:?} preset, {nodes} nodes)\n");
+    let rows = earth_bench::experiments::figure10(preset, nodes);
+    println!("{}", earth_bench::experiments::render_figure10(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table I: cost of communication on EARTH-MANNA.
+
+fn main() {
+    println!("Table I: Cost of communication on (simulated) EARTH-MANNA\n");
+    let rows = earth_bench::table1::measure();
+    println!("{}", earth_bench::table1::render(&rows));
+    println!("Sequential = synchronize after each operation; Pipelined = issue back-to-back.");
+}

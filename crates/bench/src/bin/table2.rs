@@ -1,0 +1,28 @@
+//! Regenerates the paper's Table II: the benchmark suite inventory.
+
+use earth_olden::{suite, Preset};
+
+fn main() {
+    println!("Table II: Benchmark programs\n");
+    let rows: Vec<Vec<String>> = suite()
+        .iter()
+        .map(|b| {
+            let full: Vec<String> = (b.args)(Preset::Full)
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            vec![
+                b.name.to_string(),
+                b.description.to_string(),
+                format!("main({})", full.join(", ")),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        earth_bench::render::table(&["Benchmark", "Description", "Full-size arguments"], &rows)
+    );
+    println!("Paper sizes: power 10,000 leaves; perimeter depth 11; tsp 32K cities;");
+    println!("health 4 levels x 600 iterations; voronoi 32K points.");
+    println!("Full presets here are scaled down to keep simulated runs short (DESIGN.md).");
+}

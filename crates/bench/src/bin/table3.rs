@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table III: performance of the sequential,
+//! simple and optimized builds over 1..16 processors.
+
+fn main() {
+    let preset = earth_bench::preset_from_args();
+    println!("Table III: performance improvement ({preset:?} preset)\n");
+    let rows = earth_bench::experiments::table3(preset, &[1, 2, 4, 8, 16]);
+    println!("{}", earth_bench::experiments::render_table3(&rows));
+}

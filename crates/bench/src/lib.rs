@@ -1,0 +1,48 @@
+//! # earth-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (see
+//! DESIGN.md §4 for the index):
+//!
+//! * [`table1`] — communication cost microkernels (Table I),
+//! * [`experiments`] — Figure 10 (dynamic communication counts) and
+//!   Table III (performance improvement),
+//! * [`ablation`] — component / threshold / frequency ablations beyond the
+//!   paper.
+//!
+//! Runnable binaries: `table1`, `table2`, `fig10`, `table3`,
+//! `ablation_threshold`, `ablation_placement`, `ablation_freq` (all accept
+//! `--small` / `--full` to change the problem size) — plus Criterion
+//! benches `comm_costs`, `olden`, and `pipeline`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod experiments;
+pub mod render;
+pub mod table1;
+
+use earth_olden::Preset;
+
+/// Parses the common `--small` / `--full` / `--test` size flags
+/// (default: `Preset::Small`).
+pub fn preset_from_args() -> Preset {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--full") {
+        Preset::Full
+    } else if args.iter().any(|a| a == "--test") {
+        Preset::Test
+    } else {
+        Preset::Small
+    }
+}
+
+/// Parses `--nodes N` (default 8).
+pub fn nodes_from_args() -> u16 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--nodes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}

@@ -1,0 +1,70 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders a table: header row plus data rows, columns padded to fit.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        let mut parts = Vec::with_capacity(ncols);
+        for (i, c) in cells.iter().enumerate().take(ncols) {
+            parts.push(format!("{:>width$}", c, width = widths[i]));
+        }
+        out.push_str(&parts.join("  "));
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats nanoseconds as seconds with 3 decimals.
+pub fn secs(ns: u64) -> String {
+    format!("{:.4}", ns as f64 / 1e9)
+}
+
+/// Formats a ratio as a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("long-name"));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1_500_000_000), "1.5000");
+        assert_eq!(pct(0.1234), "12.34");
+    }
+}

@@ -1,0 +1,206 @@
+//! Table I: cost of communication on (simulated) EARTH-MANNA.
+//!
+//! Measures the sequential and pipelined cost of remote word reads, word
+//! writes, and one-word block moves with microkernels, exactly as the
+//! numbers in the paper's Table I were measured: *sequential* = each
+//! operation completes (synchronizes) before the next issues; *pipelined*
+//! = operations are issued back-to-back as fast as possible.
+
+use earth_ir::builder::FunctionBuilder;
+use earth_ir::{BinOp, BlkDir, Builtin, Cond, Operand, Program, StructDef, Ty, VarDecl};
+use earth_sim::{compile, CodegenOptions, Machine, MachineConfig, Value};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Operation name ("Read word", ...).
+    pub op: &'static str,
+    /// Measured per-operation cost when synchronizing after each op (ns).
+    pub sequential_ns: f64,
+    /// Measured per-operation cost when issuing back-to-back (ns).
+    pub pipelined_ns: f64,
+}
+
+const ITERS: i64 = 1000;
+
+/// Builds a kernel program. Every kernel allocates one remote object on
+/// node 1, then loops `ITERS` times around the measured operation; a
+/// baseline kernel with an empty loop body lets the harness subtract loop
+/// overhead.
+fn kernel_program() -> (Program, KernelIds) {
+    let mut prog = Program::new();
+    let mut cell = StructDef::new("Cell");
+    let f0 = cell.add_field("f0", Ty::Int);
+    let sid = prog.add_struct(cell);
+
+    // Shared preamble: p = malloc_on(1, Cell); p->f0 = 7; i = 0.
+    let build = |name: &str,
+                 body: &mut dyn FnMut(
+        &mut FunctionBuilder,
+        earth_ir::VarId, // p
+        earth_ir::VarId, // t (int temp)
+        earth_ir::VarId, // buf (struct)
+    )| {
+        let mut fb = FunctionBuilder::new(name, Some(Ty::Int));
+        let p = fb.var(VarDecl::new("p", Ty::Ptr(sid)));
+        let t = fb.var(VarDecl::new("t", Ty::Int));
+        let buf = fb.var(VarDecl::new("buf", Ty::Struct(sid)));
+        let i = fb.var(VarDecl::new("i", Ty::Int));
+        fb.malloc(p, sid, Some(Operand::int(1)));
+        fb.store_deref(p, f0, Operand::int(7));
+        fb.builtin(t, Builtin::Fence, vec![]);
+        fb.assign(i, Operand::int(0));
+        fb.while_loop(
+            Cond::new(BinOp::Lt, Operand::Var(i), Operand::int(ITERS)),
+            |b| {
+                body(b, p, t, buf);
+                b.binop(i, BinOp::Add, Operand::Var(i), Operand::int(1));
+            },
+        );
+        // Drain outstanding writes so they are attributed to the kernel.
+        fb.builtin(t, Builtin::Fence, vec![]);
+        fb.ret(Some(Operand::int(0)));
+        fb.finish()
+    };
+
+    let ids = KernelIds {
+        baseline: prog.add_function(build("baseline", &mut |_b, _p, _t, _buf| {})),
+        read_seq: prog.add_function(build("read_seq", &mut |b, p, t, _buf| {
+            // Load and immediately use: forces synchronization.
+            b.load_deref(t, p, f0);
+            b.binop(t, BinOp::Add, Operand::Var(t), Operand::int(0));
+        })),
+        read_pipe: prog.add_function(build("read_pipe", &mut |b, p, t, _buf| {
+            // Load without using the value: issues overlap.
+            b.load_deref(t, p, f0);
+        })),
+        write_seq: prog.add_function(build("write_seq", &mut |b, p, t, _buf| {
+            b.store_deref(p, f0, Operand::int(9));
+            b.builtin(t, Builtin::Fence, vec![]);
+        })),
+        write_pipe: prog.add_function(build("write_pipe", &mut |b, p, _t, _buf| {
+            b.store_deref(p, f0, Operand::int(9));
+        })),
+        blk_seq: prog.add_function(build("blk_seq", &mut |b, p, t, buf| {
+            b.blkmov(BlkDir::RemoteToLocal, p, buf);
+            // Use a word of the buffer: synchronizes on completion (the
+            // copy alone would just propagate the pending state).
+            b.load_field(t, buf, f0);
+            b.binop(t, BinOp::Add, Operand::Var(t), Operand::int(0));
+        })),
+        blk_pipe: prog.add_function(build("blk_pipe", &mut |b, p, _t, buf| {
+            b.blkmov(BlkDir::RemoteToLocal, p, buf);
+        })),
+    };
+    (prog, ids)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct KernelIds {
+    baseline: earth_ir::FuncId,
+    read_seq: earth_ir::FuncId,
+    read_pipe: earth_ir::FuncId,
+    write_seq: earth_ir::FuncId,
+    write_pipe: earth_ir::FuncId,
+    blk_seq: earth_ir::FuncId,
+    blk_pipe: earth_ir::FuncId,
+}
+
+fn time_kernel(prog: &Program, id: earth_ir::FuncId) -> u64 {
+    let compiled = compile(prog, CodegenOptions::default()).expect("kernel compiles");
+    let mut m = Machine::new(MachineConfig::with_nodes(2));
+    let r = m.run(&compiled, id, &[]).expect("kernel runs");
+    assert_eq!(r.ret, Value::Int(0));
+    r.time_ns
+}
+
+/// Runs the six microkernels and derives per-operation costs.
+pub fn measure() -> Vec<Row> {
+    let (prog, ids) = kernel_program();
+    let base = time_kernel(&prog, ids.baseline);
+    let per_op = |total: u64, extra_ops: u64| -> f64 {
+        (total.saturating_sub(base) as f64) / ITERS as f64 - extra_ops as f64 * 40.0
+    };
+    vec![
+        Row {
+            op: "Read word",
+            // The read_seq body has one extra ALU op (the use).
+            sequential_ns: per_op(time_kernel(&prog, ids.read_seq), 1),
+            pipelined_ns: per_op(time_kernel(&prog, ids.read_pipe), 0),
+        },
+        Row {
+            op: "Write word",
+            // write_seq has one extra fence builtin op.
+            sequential_ns: per_op(time_kernel(&prog, ids.write_seq), 1),
+            pipelined_ns: per_op(time_kernel(&prog, ids.write_pipe), 0),
+        },
+        Row {
+            op: "Blkmov word",
+            // blk_seq has two extra ops (the buffer copy and the use).
+            sequential_ns: per_op(time_kernel(&prog, ids.blk_seq), 2),
+            pipelined_ns: per_op(time_kernel(&prog, ids.blk_pipe), 0),
+        },
+    ]
+}
+
+/// Renders the measured rows next to the paper's numbers.
+pub fn render(rows: &[Row]) -> String {
+    let paper = [(7109.0, 1908.0), (6458.0, 1749.0), (9700.0, 2602.0)];
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .zip(paper)
+        .map(|(r, (ps, pp))| {
+            vec![
+                r.op.to_string(),
+                format!("{:.0}ns", r.sequential_ns),
+                format!("{ps:.0}ns"),
+                format!("{:.0}ns", r.pipelined_ns),
+                format!("{pp:.0}ns"),
+            ]
+        })
+        .collect();
+    crate::render::table(
+        &[
+            "EARTH Operation",
+            "Sequential",
+            "(paper)",
+            "Pipelined",
+            "(paper)",
+        ],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_costs_match_table_one_shape() {
+        let rows = measure();
+        assert_eq!(rows.len(), 3);
+        let read = &rows[0];
+        let write = &rows[1];
+        let blk = &rows[2];
+        // Within 15% of the paper's numbers (loop scheduling adds a bit).
+        let close = |a: f64, b: f64| (a - b).abs() / b < 0.15;
+        assert!(close(read.sequential_ns, 7109.0), "{}", read.sequential_ns);
+        assert!(close(read.pipelined_ns, 1908.0), "{}", read.pipelined_ns);
+        assert!(close(write.sequential_ns, 6458.0), "{}", write.sequential_ns);
+        assert!(close(write.pipelined_ns, 1749.0), "{}", write.pipelined_ns);
+        assert!(close(blk.sequential_ns, 9700.0), "{}", blk.sequential_ns);
+        assert!(close(blk.pipelined_ns, 2602.0), "{}", blk.pipelined_ns);
+        // And the orderings the paper highlights hold.
+        assert!(read.pipelined_ns < read.sequential_ns);
+        assert!(write.pipelined_ns < write.sequential_ns);
+        assert!(blk.pipelined_ns < blk.sequential_ns);
+    }
+
+    #[test]
+    fn render_includes_paper_reference() {
+        let rows = measure();
+        let s = render(&rows);
+        assert!(s.contains("7109ns"));
+        assert!(s.contains("Read word"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Configuration of the communication optimizer.
+
+/// The frequency-adjustment model of the possible-placement analysis
+/// (the paper's `adjustFrequency`, Figure 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqModel {
+    /// Factor applied when a tuple moves out of a loop ("corresponding to
+    /// the expected number of times the loop will execute"); the paper
+    /// uses 10.
+    pub loop_factor: f64,
+    /// Minimum frequency for a tuple to be selected for placement; the
+    /// paper requires "1 or more".
+    pub placement_threshold: f64,
+}
+
+impl Default for FreqModel {
+    fn default() -> Self {
+        FreqModel {
+            loop_factor: 10.0,
+            placement_threshold: 1.0,
+        }
+    }
+}
+
+/// Communication cost parameters, in nanoseconds, mirroring the paper's
+/// Table I (EARTH-MANNA). Used by communication selection to choose between
+/// pipelined scalar operations and blocked `blkmov` transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommCostModel {
+    /// Pipelined remote read of one word.
+    pub read_pipelined_ns: f64,
+    /// Pipelined remote write of one word.
+    pub write_pipelined_ns: f64,
+    /// Pipelined block move of one word (base cost of a `blkmov`).
+    pub blkmov_pipelined_ns: f64,
+    /// Additional streaming cost per extra word in a block move
+    /// (8-byte word over the 50 MB/s MANNA link ⇒ 160 ns).
+    pub blkmov_per_word_ns: f64,
+}
+
+impl Default for CommCostModel {
+    fn default() -> Self {
+        CommCostModel {
+            read_pipelined_ns: 1908.0,
+            write_pipelined_ns: 1749.0,
+            blkmov_pipelined_ns: 2602.0,
+            blkmov_per_word_ns: 160.0,
+        }
+    }
+}
+
+impl CommCostModel {
+    /// Cost of a block move of `words` words (pipelined issue).
+    pub fn blkmov_cost(&self, words: usize) -> f64 {
+        self.blkmov_pipelined_ns + self.blkmov_per_word_ns * words.saturating_sub(1) as f64
+    }
+
+    /// Cost of `reads` pipelined scalar reads plus `writes` pipelined
+    /// scalar writes.
+    pub fn pipelined_cost(&self, reads: usize, writes: usize) -> f64 {
+        self.read_pipelined_ns * reads as f64 + self.write_pipelined_ns * writes as f64
+    }
+}
+
+/// Full optimizer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommOptConfig {
+    /// Frequency model for placement analysis.
+    pub freq: FreqModel,
+    /// Cost model for pipelining-vs-blocking decisions.
+    pub cost: CommCostModel,
+    /// Minimum number of distinct remote words (reads + writes) accessed
+    /// through one pointer for blocking to be considered; the paper used 3
+    /// ("a block-move is better when three or more words can be moved
+    /// together").
+    pub block_threshold: usize,
+    /// Maximum ratio of struct size to words actually needed for blocking
+    /// to stay profitable (the paper: "if the structure being read is very
+    /// large compared to the number of fields actually required, the
+    /// tradeoff shifts towards pipelined communication"). Moving spurious
+    /// words costs wire time *and* adds completion latency on dependent
+    /// chains.
+    pub spurious_ratio: f64,
+    /// Whether the runtime tolerates remote reads of potentially-invalid
+    /// addresses (the paper's footnote 2: the EARTH runtime "can
+    /// speculatively issue the remote operation, even for an invalid
+    /// address"); the default. When `false`, a tuple that crossed a
+    /// conditional, loop, or possibly-returning statement is only placed
+    /// at points where the must-dereference analysis guarantees a
+    /// dereference of its base on every path (the footnote's first
+    /// method).
+    pub speculative_remote_ok: bool,
+    /// Enable code motion of remote reads (earliest placement). Disabling
+    /// leaves reads in place but still eliminates redundant ones — an
+    /// ablation axis.
+    pub enable_motion: bool,
+    /// Enable blocking (`blkmov`) of grouped accesses.
+    pub enable_blocking: bool,
+    /// Enable redundant-communication elimination (reuse of an already
+    /// issued read).
+    pub enable_redundancy_elim: bool,
+}
+
+impl Default for CommOptConfig {
+    fn default() -> Self {
+        CommOptConfig {
+            freq: FreqModel::default(),
+            cost: CommCostModel::default(),
+            block_threshold: 3,
+            spurious_ratio: 2.0,
+            speculative_remote_ok: true,
+            enable_motion: true,
+            enable_blocking: true,
+            enable_redundancy_elim: true,
+        }
+    }
+}
+
+impl CommOptConfig {
+    /// A configuration with every optimization disabled (the "simple"
+    /// compile of the paper's evaluation).
+    pub fn disabled() -> Self {
+        CommOptConfig {
+            enable_motion: false,
+            enable_blocking: false,
+            enable_redundancy_elim: false,
+            ..CommOptConfig::default()
+        }
+    }
+
+    /// Should a group of accesses through one pointer be blocked?
+    ///
+    /// `read_fields`/`write_fields` count distinct fields read/written;
+    /// `struct_words` is the number of words the block moves transfer.
+    pub fn should_block(
+        &self,
+        read_fields: usize,
+        write_fields: usize,
+        struct_words: usize,
+    ) -> bool {
+        self.should_block_ex(read_fields, write_fields, struct_words, false)
+    }
+
+    /// [`CommOptConfig::should_block`] with the *fully-initializing span*
+    /// refinement: when every transferred word is written before any read,
+    /// the up-front block read is skipped, so blocking costs only the
+    /// write-back.
+    pub fn should_block_ex(
+        &self,
+        read_fields: usize,
+        write_fields: usize,
+        struct_words: usize,
+        full_init: bool,
+    ) -> bool {
+        if !self.enable_blocking {
+            return false;
+        }
+        let words_needed = read_fields + write_fields;
+        if words_needed < self.block_threshold {
+            return false;
+        }
+        if struct_words as f64 > self.spurious_ratio * words_needed as f64 {
+            return false;
+        }
+        let mut blocked = if full_init {
+            0.0 // fully-initializing spans skip the up-front read
+        } else {
+            self.cost.blkmov_cost(struct_words)
+        };
+        if write_fields > 0 {
+            // A write-back block move is needed as well.
+            blocked += self.cost.blkmov_cost(struct_words);
+        }
+        let pipelined = self.cost.pipelined_cost(read_fields, write_fields);
+        blocked < pipelined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_threshold_of_three_holds() {
+        let cfg = CommOptConfig::default();
+        // Two reads: pipelined (threshold gate).
+        assert!(!cfg.should_block(2, 0, 2));
+        // Three reads of a three-word struct: blocked.
+        assert!(cfg.should_block(3, 0, 3));
+        // Two reads + two writes of a two-word struct (Figure 4): blocked.
+        assert!(cfg.should_block(2, 2, 2));
+    }
+
+    #[test]
+    fn huge_spurious_struct_shifts_to_pipelining() {
+        let cfg = CommOptConfig::default();
+        // Three fields needed out of a 60-word struct: the per-word
+        // streaming cost of the spurious fields outweighs the saving.
+        assert!(!cfg.should_block(3, 0, 60));
+        // Three fields of a 7-word struct: the spurious-ratio rule keeps
+        // it pipelined (7 > 2 x 3), protecting dependent chains from the
+        // higher blkmov completion latency.
+        assert!(!cfg.should_block(3, 0, 7));
+        assert!(cfg.should_block(4, 0, 7));
+    }
+
+    #[test]
+    fn blocking_disabled_never_blocks() {
+        let cfg = CommOptConfig {
+            enable_blocking: false,
+            ..CommOptConfig::default()
+        };
+        assert!(!cfg.should_block(5, 5, 10));
+    }
+
+    #[test]
+    fn cost_model_matches_table_one() {
+        let c = CommCostModel::default();
+        assert_eq!(c.blkmov_cost(1), 2602.0);
+        assert_eq!(c.blkmov_cost(3), 2602.0 + 320.0);
+        assert_eq!(c.pipelined_cost(2, 1), 2.0 * 1908.0 + 1749.0);
+    }
+
+    #[test]
+    fn disabled_config_turns_everything_off() {
+        let cfg = CommOptConfig::disabled();
+        assert!(!cfg.enable_motion);
+        assert!(!cfg.enable_blocking);
+        assert!(!cfg.enable_redundancy_elim);
+    }
+}

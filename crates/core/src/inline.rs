@@ -1,0 +1,590 @@
+//! Local function inlining — the Phase-I transformation of the
+//! EARTH-McCAT compiler (Figure 2 of the paper) that the communication
+//! optimizer benefits from: "one of the pointer parameters passed to the
+//! function distance remains invariant across several calls ... Currently,
+//! we achieve this effect via function inlining" (§6).
+//!
+//! The inliner is deliberately conservative, matching what structured
+//! SIMPLE can express without `goto`:
+//!
+//! * only *local* calls are inlined — calls placed `@OWNER_OF(p)` /
+//!   `@node` express computation migration and must keep their call;
+//! * the callee must be non-recursive, contain **no** `return` except as
+//!   the final statement of its body, declare no `shared` variables, and
+//!   fit the size budget;
+//! * cloned pointer variables are downgraded to
+//!   [`Locality::MaybeRemote`](earth_ir::Locality) — a `local` qualifier
+//!   on a callee parameter is a contract with its call sites that no
+//!   longer holds after splicing (re-run
+//!   [`earth_analysis::infer_locality`] to recover provable locality).
+
+use earth_ir::{
+    Basic, FuncId, Function, Label, Locality, Operand, Place, Program, Rvalue, Stmt, StmtKind,
+    VarDecl, VarId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Inliner configuration.
+#[derive(Debug, Clone)]
+pub struct InlineConfig {
+    /// Maximum number of basic statements in an inlinable callee.
+    pub max_callee_stmts: usize,
+    /// Maximum number of inlining passes (each pass inlines calls
+    /// introduced by the previous one).
+    pub max_rounds: usize,
+    /// Maximum number of basic statements a caller may grow to.
+    pub max_caller_stmts: usize,
+}
+
+impl Default for InlineConfig {
+    fn default() -> Self {
+        InlineConfig {
+            max_callee_stmts: 24,
+            max_rounds: 2,
+            max_caller_stmts: 1500,
+        }
+    }
+}
+
+/// What the inliner did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InlineReport {
+    /// Number of call sites replaced by callee bodies.
+    pub inlined_calls: usize,
+}
+
+/// Runs local function inlining over the whole program.
+///
+/// # Examples
+///
+/// ```
+/// use earth_commopt::{inline_functions, InlineConfig};
+///
+/// let mut prog = earth_frontend::compile(r#"
+///     struct P { double x; };
+///     double twice(double v) { return v + v; }
+///     double f(P *p) { return twice(p->x); }
+/// "#).unwrap();
+/// let report = inline_functions(&mut prog, &InlineConfig::default());
+/// assert_eq!(report.inlined_calls, 1);
+/// ```
+pub fn inline_functions(prog: &mut Program, cfg: &InlineConfig) -> InlineReport {
+    let mut report = InlineReport::default();
+    for _ in 0..cfg.max_rounds {
+        let inlinable = inlinable_set(prog, cfg);
+        if inlinable.is_empty() {
+            break;
+        }
+        let mut any = false;
+        let fids: Vec<FuncId> = prog.iter_functions().map(|(id, _)| id).collect();
+        for fid in fids {
+            let caller_size = prog.function(fid).basic_stmts().len();
+            if caller_size > cfg.max_caller_stmts {
+                continue;
+            }
+            let mut func = prog.function(fid).clone();
+            let n = inline_in_function(prog, &mut func, fid, &inlinable);
+            if n > 0 {
+                report.inlined_calls += n;
+                any = true;
+                prog.replace_function(fid, func);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    earth_ir::validate_program(prog).expect("inliner produced invalid IR");
+    report
+}
+
+/// Functions that may be inlined: small, single-tail-return, no shared
+/// variables, not (mutually) recursive.
+fn inlinable_set(prog: &Program, cfg: &InlineConfig) -> HashSet<FuncId> {
+    // Call graph for recursion detection.
+    let n = prog.functions().len();
+    let mut callees: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for (id, f) in prog.iter_functions() {
+        f.body.walk(&mut |s| {
+            if let StmtKind::Basic(Basic::Call { func, .. }) = &s.kind {
+                callees[id.index()].insert(func.index());
+            }
+        });
+    }
+    let reaches_self = |start: usize| -> bool {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<usize> = callees[start].iter().copied().collect();
+        while let Some(x) = stack.pop() {
+            if x == start {
+                return true;
+            }
+            if seen.insert(x) {
+                stack.extend(callees[x].iter().copied());
+            }
+        }
+        false
+    };
+
+    prog.iter_functions()
+        .filter(|(id, f)| {
+            f.basic_stmts().len() <= cfg.max_callee_stmts
+                && !reaches_self(id.index())
+                && f.iter_vars().all(|(_, d)| !d.shared)
+                && returns_only_at_tail(&f.body)
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Whether the only `return` in the body is its final top-level statement.
+fn returns_only_at_tail(body: &Stmt) -> bool {
+    let StmtKind::Seq(ss) = &body.kind else {
+        return false;
+    };
+    let mut returns = 0usize;
+    let mut tail_return = false;
+    body.walk(&mut |s| {
+        if matches!(s.kind, StmtKind::Basic(Basic::Return(_))) {
+            returns += 1;
+        }
+    });
+    if let Some(last) = ss.last() {
+        tail_return = matches!(last.kind, StmtKind::Basic(Basic::Return(_)));
+    }
+    match returns {
+        0 => true,
+        1 => tail_return,
+        _ => false,
+    }
+}
+
+/// Inlines eligible calls within `func`; returns the number of call sites
+/// replaced.
+fn inline_in_function(
+    prog: &Program,
+    func: &mut Function,
+    self_id: FuncId,
+    inlinable: &HashSet<FuncId>,
+) -> usize {
+    let body = std::mem::replace(
+        &mut func.body,
+        Stmt {
+            label: Label(0),
+            kind: StmtKind::Seq(Vec::new()),
+        },
+    );
+    let mut count = 0;
+    let new_body = rewrite(prog, func, self_id, inlinable, body, &mut count);
+    func.body = new_body;
+    func.sync_label_counter();
+    count
+}
+
+fn rewrite(
+    prog: &Program,
+    func: &mut Function,
+    self_id: FuncId,
+    inlinable: &HashSet<FuncId>,
+    s: Stmt,
+    count: &mut usize,
+) -> Stmt {
+    let label = s.label;
+    let kind = match s.kind {
+        StmtKind::Seq(children) => {
+            let mut out = Vec::with_capacity(children.len());
+            for child in children {
+                // An inlinable local call expands in place.
+                if let StmtKind::Basic(Basic::Call {
+                    dst,
+                    func: callee,
+                    args,
+                    at: None,
+                }) = &child.kind
+                {
+                    if *callee != self_id && inlinable.contains(callee) {
+                        *count += 1;
+                        splice_call(prog, func, *callee, *dst, args, &mut out);
+                        continue;
+                    }
+                }
+                out.push(rewrite(prog, func, self_id, inlinable, child, count));
+            }
+            StmtKind::Seq(out)
+        }
+        StmtKind::ParSeq(children) => StmtKind::ParSeq(
+            children
+                .into_iter()
+                .map(|c| rewrite(prog, func, self_id, inlinable, c, count))
+                .collect(),
+        ),
+        StmtKind::Basic(b) => StmtKind::Basic(b),
+        StmtKind::If {
+            cond,
+            then_s,
+            else_s,
+        } => StmtKind::If {
+            cond,
+            then_s: Box::new(rewrite(prog, func, self_id, inlinable, *then_s, count)),
+            else_s: Box::new(rewrite(prog, func, self_id, inlinable, *else_s, count)),
+        },
+        StmtKind::Switch {
+            scrut,
+            cases,
+            default,
+        } => StmtKind::Switch {
+            scrut,
+            cases: cases
+                .into_iter()
+                .map(|(v, c)| (v, rewrite(prog, func, self_id, inlinable, c, count)))
+                .collect(),
+            default: Box::new(rewrite(prog, func, self_id, inlinable, *default, count)),
+        },
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond,
+            body: Box::new(rewrite(prog, func, self_id, inlinable, *body, count)),
+        },
+        StmtKind::DoWhile { body, cond } => StmtKind::DoWhile {
+            body: Box::new(rewrite(prog, func, self_id, inlinable, *body, count)),
+            cond,
+        },
+        StmtKind::Forall {
+            init,
+            cond,
+            step,
+            body,
+        } => StmtKind::Forall {
+            init,
+            cond,
+            step,
+            body: Box::new(rewrite(prog, func, self_id, inlinable, *body, count)),
+        },
+    };
+    Stmt { label, kind }
+}
+
+/// Expands one call: argument copies, the renamed callee body, and the
+/// return-value assignment.
+fn splice_call(
+    prog: &Program,
+    func: &mut Function,
+    callee_id: FuncId,
+    dst: Option<VarId>,
+    args: &[Operand],
+    out: &mut Vec<Stmt>,
+) {
+    let callee = prog.function(callee_id);
+
+    // Fresh caller variables for every callee variable. Pointer locality
+    // is downgraded: the callee's `local` contracts do not survive
+    // splicing into an arbitrary call site.
+    let mut var_map: HashMap<VarId, VarId> = HashMap::new();
+    for (v, d) in callee.iter_vars() {
+        let mut decl = VarDecl {
+            name: format!("inl_{}_{}", callee.name, d.name),
+            ..d.clone()
+        };
+        if decl.ty.is_ptr() {
+            decl.locality = Locality::MaybeRemote;
+        }
+        var_map.insert(v, func.add_var(decl));
+    }
+
+    // Parameter binding.
+    for (&p, &a) in callee.params.iter().zip(args) {
+        let l = func.fresh_label();
+        out.push(Stmt {
+            label: l,
+            kind: StmtKind::Basic(Basic::Assign {
+                dst: Place::Var(var_map[&p]),
+                src: Rvalue::Use(a),
+            }),
+        });
+    }
+
+    // Body: strip the tail return, splice the rest renamed.
+    let StmtKind::Seq(body) = &callee.body.kind else {
+        unreachable!("function bodies are sequences");
+    };
+    let (tail_ret, rest): (Option<&Stmt>, &[Stmt]) = match body.split_last() {
+        Some((last, rest)) if matches!(last.kind, StmtKind::Basic(Basic::Return(_))) => {
+            (Some(last), rest)
+        }
+        _ => (None, body.as_slice()),
+    };
+    for stmt in rest {
+        out.push(clone_renamed(func, stmt, &var_map));
+    }
+    if let (Some(d), Some(ret)) = (dst, tail_ret) {
+        if let StmtKind::Basic(Basic::Return(Some(op))) = &ret.kind {
+            let l = func.fresh_label();
+            out.push(Stmt {
+                label: l,
+                kind: StmtKind::Basic(Basic::Assign {
+                    dst: Place::Var(d),
+                    src: Rvalue::Use(rename_operand(*op, &var_map)),
+                }),
+            });
+        }
+    }
+}
+
+fn rename_var(v: VarId, map: &HashMap<VarId, VarId>) -> VarId {
+    map[&v]
+}
+
+fn rename_operand(o: Operand, map: &HashMap<VarId, VarId>) -> Operand {
+    match o {
+        Operand::Var(v) => Operand::Var(rename_var(v, map)),
+        c => c,
+    }
+}
+
+fn clone_renamed(func: &mut Function, s: &Stmt, map: &HashMap<VarId, VarId>) -> Stmt {
+    use earth_ir::{AtTarget, Cond, MemRef};
+    let rn_mem = |m: MemRef| match m {
+        MemRef::Deref { base, field } => MemRef::Deref {
+            base: rename_var(base, map),
+            field,
+        },
+        MemRef::Field { base, field } => MemRef::Field {
+            base: rename_var(base, map),
+            field,
+        },
+    };
+    let rn_cond = |c: &Cond| Cond::new(c.op, rename_operand(c.lhs, map), rename_operand(c.rhs, map));
+    let label = func.fresh_label();
+    let kind = match &s.kind {
+        StmtKind::Seq(ss) => StmtKind::Seq(
+            ss.iter()
+                .map(|c| clone_renamed(func, c, map))
+                .collect(),
+        ),
+        StmtKind::ParSeq(ss) => StmtKind::ParSeq(
+            ss.iter()
+                .map(|c| clone_renamed(func, c, map))
+                .collect(),
+        ),
+        StmtKind::Basic(b) => {
+            let nb = match b {
+                Basic::Assign { dst, src } => Basic::Assign {
+                    dst: match dst {
+                        Place::Var(v) => Place::Var(rename_var(*v, map)),
+                        Place::Mem(m) => Place::Mem(rn_mem(*m)),
+                    },
+                    src: match src {
+                        Rvalue::Use(o) => Rvalue::Use(rename_operand(*o, map)),
+                        Rvalue::Unary(op, a) => Rvalue::Unary(*op, rename_operand(*a, map)),
+                        Rvalue::Binary(op, a, b) => Rvalue::Binary(
+                            *op,
+                            rename_operand(*a, map),
+                            rename_operand(*b, map),
+                        ),
+                        Rvalue::Load(m) => Rvalue::Load(rn_mem(*m)),
+                        Rvalue::Malloc { struct_id, on } => Rvalue::Malloc {
+                            struct_id: *struct_id,
+                            on: on.map(|o| rename_operand(o, map)),
+                        },
+                        Rvalue::Builtin { builtin, args } => Rvalue::Builtin {
+                            builtin: *builtin,
+                            args: args.iter().map(|a| rename_operand(*a, map)).collect(),
+                        },
+                        Rvalue::ValueOf(v) => Rvalue::ValueOf(rename_var(*v, map)),
+                    },
+                },
+                Basic::Call {
+                    dst,
+                    func: f2,
+                    args,
+                    at,
+                } => Basic::Call {
+                    dst: dst.map(|d| rename_var(d, map)),
+                    func: *f2,
+                    args: args.iter().map(|a| rename_operand(*a, map)).collect(),
+                    at: at.as_ref().map(|t| match t {
+                        AtTarget::OwnerOf(v) => AtTarget::OwnerOf(rename_var(*v, map)),
+                        AtTarget::Node(o) => AtTarget::Node(rename_operand(*o, map)),
+                    }),
+                },
+                Basic::Return(o) => Basic::Return(o.map(|o| rename_operand(o, map))),
+                Basic::BlkMov { dir, ptr, buf, range } => Basic::BlkMov {
+                    dir: *dir,
+                    ptr: rename_var(*ptr, map),
+                    buf: rename_var(*buf, map),
+                    range: *range,
+                },
+                Basic::AtomicWrite { var, value } => Basic::AtomicWrite {
+                    var: rename_var(*var, map),
+                    value: rename_operand(*value, map),
+                },
+                Basic::AtomicAdd { var, value } => Basic::AtomicAdd {
+                    var: rename_var(*var, map),
+                    value: rename_operand(*value, map),
+                },
+            };
+            StmtKind::Basic(nb)
+        }
+        StmtKind::If {
+            cond,
+            then_s,
+            else_s,
+        } => StmtKind::If {
+            cond: rn_cond(cond),
+            then_s: Box::new(clone_renamed(func, then_s, map)),
+            else_s: Box::new(clone_renamed(func, else_s, map)),
+        },
+        StmtKind::Switch {
+            scrut,
+            cases,
+            default,
+        } => StmtKind::Switch {
+            scrut: rename_operand(*scrut, map),
+            cases: cases
+                .iter()
+                .map(|(v, c)| (*v, clone_renamed(func, c, map)))
+                .collect(),
+            default: Box::new(clone_renamed(func, default, map)),
+        },
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond: rn_cond(cond),
+            body: Box::new(clone_renamed(func, body, map)),
+        },
+        StmtKind::DoWhile { body, cond } => StmtKind::DoWhile {
+            body: Box::new(clone_renamed(func, body, map)),
+            cond: rn_cond(cond),
+        },
+        StmtKind::Forall {
+            init,
+            cond,
+            step,
+            body,
+        } => StmtKind::Forall {
+            init: Box::new(clone_renamed(func, init, map)),
+            cond: rn_cond(cond),
+            step: Box::new(clone_renamed(func, step, map)),
+            body: Box::new(clone_renamed(func, body, map)),
+        },
+    };
+    Stmt { label, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_frontend::compile;
+
+    const SRC: &str = r#"
+        struct Point { double x; double y; };
+        double scale(double v, double k) { return v * k; }
+        double use_it(Point *p, double k) {
+            double a;
+            double b;
+            a = scale(p->x, k);
+            b = scale(p->y, k);
+            return a + b;
+        }
+    "#;
+
+    #[test]
+    fn inlines_small_leaf_function() {
+        let mut prog = compile(SRC).unwrap();
+        let report = inline_functions(&mut prog, &InlineConfig::default());
+        assert_eq!(report.inlined_calls, 2);
+        let f = prog.function(prog.function_by_name("use_it").unwrap());
+        let calls = f
+            .basic_stmts()
+            .iter()
+            .filter(|(_, b)| matches!(b, Basic::Call { .. }))
+            .count();
+        assert_eq!(calls, 0, "both calls should be gone");
+        // The inlined multiplications exist under renamed variables.
+        assert!(f.var_by_name("inl_scale_v").is_some());
+    }
+
+    #[test]
+    fn recursion_is_not_inlined() {
+        let mut prog = compile(
+            r#"
+            struct S { int x; };
+            int fact(int n) {
+                if (n < 2) { return 1; }
+                return n * fact(n - 1);
+            }
+            int main() { return fact(5); }
+        "#,
+        )
+        .unwrap();
+        let report = inline_functions(&mut prog, &InlineConfig::default());
+        assert_eq!(report.inlined_calls, 0);
+    }
+
+    #[test]
+    fn owner_of_calls_are_preserved() {
+        let mut prog = compile(
+            r#"
+            struct S { int x; };
+            int peek(S local *p) { return p->x; }
+            int main() {
+                S *p;
+                p = malloc_on(1, sizeof(S));
+                p->x = 4;
+                return peek(p) @ OWNER_OF(p);
+            }
+        "#,
+        )
+        .unwrap();
+        let report = inline_functions(&mut prog, &InlineConfig::default());
+        assert_eq!(report.inlined_calls, 0, "@OWNER_OF expresses migration");
+    }
+
+    #[test]
+    fn early_returns_block_inlining() {
+        let mut prog = compile(
+            r#"
+            struct S { S* next; int x; };
+            int first_or_zero(S *p) {
+                if (p == NULL) { return 0; }
+                return p->x;
+            }
+            int main() {
+                S *p;
+                p = malloc(sizeof(S));
+                p->x = 3;
+                return first_or_zero(p);
+            }
+        "#,
+        )
+        .unwrap();
+        let report = inline_functions(&mut prog, &InlineConfig::default());
+        assert_eq!(report.inlined_calls, 0);
+    }
+
+    // End-to-end semantic preservation is checked in the root crate's
+    // `tests/pipeline.rs` (the simulator is not a dependency here).
+
+    #[test]
+    fn inlining_enables_interprocedural_placement() {
+        // The paper's §6 remark: with `scale` inlined, the optimizer can
+        // block the whole read/compute/write pattern of `scale_point`.
+        let src = r#"
+            struct Point { double x; double y; };
+            double scale(double v, double k) { return v * k; }
+            void scale_point(Point *p, double k) {
+                p->x = scale(p->x, k);
+                p->y = scale(p->y, k);
+            }
+        "#;
+        let mut prog = compile(src).unwrap();
+        inline_functions(&mut prog, &InlineConfig::default());
+        let report =
+            crate::optimize_program(&mut prog, &crate::CommOptConfig::default());
+        // Blocking still fires after inlining, without the call boundary.
+        assert_eq!(report.total().blocked_spans, 1);
+        let f = prog.function(prog.function_by_name("scale_point").unwrap());
+        let calls = f
+            .basic_stmts()
+            .iter()
+            .filter(|(_, b)| matches!(b, Basic::Call { .. }))
+            .count();
+        assert_eq!(calls, 0);
+    }
+}

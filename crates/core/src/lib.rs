@@ -1,0 +1,468 @@
+//! # earth-commopt — communication optimization for parallel C programs
+//!
+//! The primary contribution of Zhu & Hendren, *Communication Optimizations
+//! for Parallel C Programs* (PLDI 1998), reproduced over the SIMPLE IR of
+//! [`earth_ir`]:
+//!
+//! * [`placement`] — **possible-placement analysis**: for every program
+//!   point, the set of remote reads (propagated backwards, optimistically)
+//!   and remote writes (propagated forwards, conservatively) that may be
+//!   placed there;
+//! * [`selection`] — **communication selection**: picks the earliest safe
+//!   placement for reads, eliminates redundant communication with a hash
+//!   table of already-issued operations, and chooses between pipelined
+//!   scalar operations and blocked `blkmov` transfers with a cost model
+//!   calibrated to EARTH-MANNA's Table I;
+//! * [`transform`] — applies the selected plan to the IR.
+//!
+//! # Examples
+//!
+//! Optimize the paper's Figure 3 `distance` function:
+//!
+//! ```
+//! use earth_commopt::{optimize_program, CommOptConfig};
+//!
+//! let mut prog = earth_frontend::compile(r#"
+//!     struct Point { double x; double y; };
+//!     double distance(Point *p) {
+//!         double d;
+//!         d = sqrt(p->x * p->x + p->y * p->y);
+//!         return d;
+//!     }
+//! "#).unwrap();
+//! let report = optimize_program(&mut prog, &CommOptConfig::default());
+//! // Four remote reads collapse into two pipelined reads (Figure 3(c)).
+//! assert_eq!(report.total().pipelined_reads, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod inline;
+pub mod layout;
+pub mod placement;
+pub mod rce;
+pub mod selection;
+pub mod transform;
+
+pub use config::{CommCostModel, CommOptConfig, FreqModel};
+pub use inline::{inline_functions, InlineConfig, InlineReport};
+pub use layout::{reorder_fields, LayoutReport};
+pub use placement::{analyze_placement, Placement};
+pub use rce::{CommSet, Rce};
+pub use selection::{select, Plan, Replace, SelectionStats};
+pub use transform::apply_plan;
+
+use earth_ir::{FuncId, Program};
+
+/// Per-function optimization outcome.
+#[derive(Debug, Clone)]
+pub struct FnReport {
+    /// The function.
+    pub func: FuncId,
+    /// Selection counters.
+    pub stats: SelectionStats,
+}
+
+/// Whole-program optimization outcome.
+#[derive(Debug, Clone, Default)]
+pub struct OptReport {
+    /// One entry per function, in [`FuncId`] order.
+    pub functions: Vec<FnReport>,
+}
+
+impl OptReport {
+    /// Sums the per-function counters.
+    pub fn total(&self) -> SelectionStats {
+        let mut t = SelectionStats::default();
+        for f in &self.functions {
+            t.blocked_spans += f.stats.blocked_spans;
+            t.blocked_writebacks += f.stats.blocked_writebacks;
+            t.pipelined_reads += f.stats.pipelined_reads;
+            t.reads_rewritten += f.stats.reads_rewritten;
+            t.writes_rewritten += f.stats.writes_rewritten;
+        }
+        t
+    }
+}
+
+/// Runs the full communication optimization (placement analysis, selection,
+/// transformation) over every function of `prog`, in place.
+///
+/// With [`CommOptConfig::disabled`] this is a no-op (the paper's "simple"
+/// compile).
+///
+/// # Panics
+///
+/// Panics if the optimizer produces invalid IR — a bug, guarded by the
+/// validator.
+pub fn optimize_program(prog: &mut Program, cfg: &CommOptConfig) -> OptReport {
+    let mut report = OptReport::default();
+    if !cfg.enable_motion && !cfg.enable_blocking && !cfg.enable_redundancy_elim {
+        return report;
+    }
+    let analysis = earth_analysis::analyze(prog);
+    let fids: Vec<FuncId> = prog.iter_functions().map(|(id, _)| id).collect();
+    for fid in fids {
+        let fa = analysis.function(fid);
+        let mut func = prog.function(fid).clone();
+        let placement = analyze_placement(&func, fa, &cfg.freq);
+        let plan = select(prog, &mut func, fa, &placement, cfg);
+        apply_plan(&mut func, &plan);
+        prog.replace_function(fid, func);
+        report.functions.push(FnReport {
+            func: fid,
+            stats: plan.stats,
+        });
+    }
+    earth_ir::validate_program(prog).expect("optimizer produced invalid IR");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_frontend::compile;
+    use earth_ir::{pretty, Basic};
+
+    fn optimize(src: &str) -> (Program, OptReport) {
+        let mut prog = compile(src).unwrap();
+        let report = optimize_program(&mut prog, &CommOptConfig::default());
+        (prog, report)
+    }
+
+    fn listing(prog: &Program, name: &str) -> String {
+        pretty::print_function(
+            prog,
+            prog.function_by_name(name).unwrap(),
+            &pretty::PrettyOptions {
+                show_labels: false,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn count_remote_ops(prog: &Program, name: &str) -> (usize, usize, usize) {
+        let f = prog.function(prog.function_by_name(name).unwrap());
+        let (mut reads, mut writes, mut blks) = (0, 0, 0);
+        for (_, b) in f.basic_stmts() {
+            if let Some(acc) = b.deref_access() {
+                if !f.deref_is_remote(acc.base) {
+                    continue;
+                }
+                match b {
+                    Basic::BlkMov { .. } => blks += 1,
+                    _ if acc.is_write => writes += 1,
+                    _ => reads += 1,
+                }
+            }
+        }
+        (reads, writes, blks)
+    }
+
+    /// Figure 3(c): distance's four remote reads become two pipelined reads
+    /// at the top of the function (two fields: below the block threshold).
+    #[test]
+    fn fig3_distance_pipelines_two_reads() {
+        let (prog, report) = optimize(
+            r#"
+            struct Point { double x; double y; };
+            double distance(Point *p) {
+                double d;
+                d = sqrt(p->x * p->x + p->y * p->y);
+                return d;
+            }
+        "#,
+        );
+        let t = report.total();
+        assert_eq!(t.pipelined_reads, 2);
+        assert_eq!(t.blocked_spans, 0);
+        assert_eq!(t.reads_rewritten, 4);
+        let (reads, writes, blks) = count_remote_ops(&prog, "distance");
+        assert_eq!((reads, writes, blks), (2, 0, 0));
+        let text = listing(&prog, "distance");
+        // The two comm reads appear before any multiplication.
+        let first_mul = text.find(" * ").unwrap();
+        assert!(text.find("comm1 = p~>x").unwrap() < first_mul, "{text}");
+        assert!(text.find("comm2 = p~>y").unwrap() < first_mul, "{text}");
+    }
+
+    /// Figure 4(d): scale_point (2 reads + 2 writes) blocks into one
+    /// blkmov read, local accesses, and one blkmov write-back.
+    #[test]
+    fn fig4_scale_point_blocks_reads_and_writes() {
+        let (prog, report) = optimize(
+            r#"
+            struct Point { double x; double y; };
+            double scale(double v, double k) { return v * k; }
+            void scale_point(Point *p, double k) {
+                p->x = scale(p->x, k);
+                p->y = scale(p->y, k);
+            }
+        "#,
+        );
+        let t = report.total();
+        assert_eq!(t.blocked_spans, 1);
+        assert_eq!(t.blocked_writebacks, 1);
+        let (reads, writes, blks) = count_remote_ops(&prog, "scale_point");
+        assert_eq!(
+            (reads, writes, blks),
+            (0, 0, 2),
+            "{}",
+            listing(&prog, "scale_point")
+        );
+        let text = listing(&prog, "scale_point");
+        assert!(text.contains("blkmov(p, &bcomm1, sizeof(*p));"), "{text}");
+        assert!(text.contains("blkmov(&bcomm1, p, sizeof(*p));"), "{text}");
+        assert!(text.contains("bcomm1.x"), "{text}");
+    }
+
+    /// Figure 8: in the closest-point loop, reads of `t` (2 fields) are
+    /// pipelined and hoisted above the loop, covering the post-loop reads
+    /// of t->x/t->y (redundancy elimination); reads of `p` (3 fields)
+    /// inside the loop are blocked; reads of `close` after the loop (2
+    /// fields) are pipelined.
+    #[test]
+    fn fig8_closest_point_selection() {
+        let (prog, report) = optimize(
+            r#"
+            struct Point { Point* next; double x; double y; };
+            double f(double ax, double ay, double bx, double by) {
+                return (ax - bx) * (ax - bx) + (ay - by) * (ay - by);
+            }
+            double closest(Point *head, Point *t, double epsilon) {
+                Point *p;
+                Point *close;
+                double ax; double ay; double bx; double by;
+                double dist; double cx; double tx; double diffx;
+                double cy; double ty; double diffy;
+                close = head;
+                p = head;
+                while (p != NULL) {
+                    ax = p->x;
+                    ay = p->y;
+                    bx = t->x;
+                    by = t->y;
+                    dist = f(ax, ay, bx, by);
+                    if (dist < epsilon) { close = p; }
+                    p = p->next;
+                }
+                cx = close->x;
+                tx = t->x;
+                diffx = cx - tx;
+                cy = close->y;
+                ty = t->y;
+                diffy = cy - ty;
+                return diffx * diffx + diffy * diffy;
+            }
+        "#,
+        );
+        let text = listing(&prog, "closest");
+        let t = report.total();
+        // One blocked span (p in the loop), no write-back.
+        assert_eq!(t.blocked_spans, 1, "{text}");
+        assert_eq!(t.blocked_writebacks, 0, "{text}");
+        // Pipelined reads: t->x, t->y (hoisted above the loop, reused
+        // after it) and close->y hoisted above close->x; the read of
+        // close->x stays in place (inserting it just before its only use
+        // would be the identity transformation, which selection skips).
+        assert_eq!(t.pipelined_reads, 3, "{text}");
+        // t's reads are issued before the loop...
+        let loop_pos = text.find("while").unwrap();
+        assert!(text.find("comm1 = t~>x").unwrap() < loop_pos, "{text}");
+        assert!(text.find("comm2 = t~>y").unwrap() < loop_pos, "{text}");
+        // ... and the loop body uses the block buffer, including the
+        // cursor advance.
+        assert!(text.contains("p = bcomm1.next"), "{text}");
+        assert!(text.contains("blkmov(p, &bcomm1, sizeof(*p));"), "{text}");
+        // Post-loop reads of t reuse comm1/comm2 (no new t reads).
+        let after_loop = &text[loop_pos..];
+        assert!(!after_loop.contains("t~>x"), "{text}");
+        assert!(!after_loop.contains("t~>y"), "{text}");
+        // close is read remotely (pipelined) after the loop.
+        assert!(after_loop.contains("close~>x"), "{text}");
+    }
+
+    /// The disabled configuration leaves the program untouched.
+    #[test]
+    fn disabled_config_is_identity() {
+        let src = r#"
+            struct Point { double x; double y; };
+            double distance(Point *p) {
+                double d;
+                d = sqrt(p->x * p->x + p->y * p->y);
+                return d;
+            }
+        "#;
+        let mut prog = compile(src).unwrap();
+        let before = pretty::print_program(&prog);
+        let report = optimize_program(&mut prog, &CommOptConfig::disabled());
+        assert_eq!(pretty::print_program(&prog), before);
+        assert!(report.functions.is_empty());
+    }
+
+    /// Local pointers are never optimized (their accesses are not remote).
+    #[test]
+    fn local_pointers_untouched() {
+        let (prog, report) = optimize(
+            r#"
+            struct Point { double x; double y; double z; };
+            double f(Point local *p) {
+                return p->x + p->y + p->z;
+            }
+        "#,
+        );
+        let t = report.total();
+        assert_eq!(t.pipelined_reads + t.blocked_spans, 0);
+        let text = listing(&prog, "f");
+        assert!(text.contains("p->x"), "{text}");
+    }
+
+    /// Blocking inside a loop body with a pointer advance (the span
+    /// terminal) writes back before the advance when writes exist.
+    #[test]
+    fn blocked_write_back_precedes_pointer_advance() {
+        let (prog, _report) = optimize(
+            r#"
+            struct N { N* next; double a; double b; double c; };
+            void bump(N *p) {
+                while (p != NULL) {
+                    p->a = p->a + 1.0;
+                    p->b = p->b + 1.0;
+                    p->c = p->c + 1.0;
+                    p = p->next;
+                }
+            }
+        "#,
+        );
+        let text = listing(&prog, "bump");
+        let wb = text.find("blkmov(&bcomm1, p, sizeof(*p));").expect(&text);
+        let advance = text.find("p = bcomm1.next").expect(&text);
+        assert!(wb < advance, "write-back must use the old p:\n{text}");
+        // No scalar remote ops remain in the loop.
+        let (reads, writes, _blks) = count_remote_ops(&prog, "bump");
+        assert_eq!((reads, writes), (0, 0), "{text}");
+    }
+
+    /// An aliased write between two reads prevents both blocking across it
+    /// and redundancy elimination across it.
+    #[test]
+    fn aliased_write_blocks_motion() {
+        let (prog, _report) = optimize(
+            r#"
+            struct P { double x; double y; double z; };
+            double f(P *p) {
+                P *q;
+                double a; double b;
+                q = p;
+                a = p->x;
+                q->x = 0.0;
+                b = p->x;
+                return a + b;
+            }
+        "#,
+        );
+        let text = listing(&prog, "f");
+        // The second read of p->x must still be a remote read (it cannot
+        // reuse the first: q->x = 0.0 may change it).
+        let (reads, _w, blks) = count_remote_ops(&prog, "f");
+        assert_eq!(blks, 0, "aliased q prevents blocking: {text}");
+        assert_eq!(reads, 2, "both reads must hit memory: {text}");
+    }
+
+    /// Calls that touch the pointed-to region pin communication.
+    #[test]
+    fn interfering_call_pins_reads() {
+        let (prog, _report) = optimize(
+            r#"
+            struct P { double x; double y; double z; };
+            void poke(P *r) { r->x = 1.0; }
+            double f(P *p) {
+                double a; double b;
+                a = p->x;
+                poke(p);
+                b = p->x;
+                return a + b;
+            }
+        "#,
+        );
+        let (reads, _w, blks) = count_remote_ops(&prog, "f");
+        assert_eq!(blks, 0);
+        assert_eq!(reads, 2, "{}", listing(&prog, "f"));
+    }
+
+    /// Reads hoist out of conditionals (optimistic propagation): both
+    /// branches read p->x, so one read suffices before the branch.
+    #[test]
+    fn reads_hoist_out_of_conditionals() {
+        let (prog, report) = optimize(
+            r#"
+            struct P { double x; double y; };
+            double f(P *p, int c) {
+                double a;
+                if (c > 0) {
+                    a = p->x;
+                } else {
+                    a = p->x + 1.0;
+                }
+                return a;
+            }
+        "#,
+        );
+        assert_eq!(report.total().pipelined_reads, 1);
+        let text = listing(&prog, "f");
+        let if_pos = text.find("if").unwrap();
+        assert!(text.find("comm1 = p~>x").unwrap() < if_pos, "{text}");
+    }
+
+    /// With speculation disabled, a read only present on one side of a
+    /// branch is not hoisted above it.
+    #[test]
+    fn speculation_gate() {
+        let src = r#"
+            struct P { double x; double y; };
+            double f(P *p, int c) {
+                double a;
+                a = 0.0;
+                if (c > 0) {
+                    a = p->x;
+                }
+                return a;
+            }
+        "#;
+        let mut prog = compile(src).unwrap();
+        let cfg = CommOptConfig {
+            speculative_remote_ok: false,
+            ..CommOptConfig::default()
+        };
+        optimize_program(&mut prog, &cfg);
+        let text = listing(&prog, "f");
+        let if_pos = text.find("if").unwrap();
+        let read_pos = text.find("p~>x").unwrap();
+        assert!(read_pos > if_pos, "read must stay inside the branch: {text}");
+    }
+
+    /// Under a redundancy-only configuration the duplicate loads still
+    /// collapse but nothing moves.
+    #[test]
+    fn redundancy_only_ablation() {
+        let src = r#"
+            struct Point { double x; double y; };
+            double distance(Point *p) {
+                double d;
+                d = sqrt(p->x * p->x + p->y * p->y);
+                return d;
+            }
+        "#;
+        let mut prog = compile(src).unwrap();
+        let cfg = CommOptConfig {
+            enable_motion: false,
+            enable_blocking: false,
+            ..CommOptConfig::default()
+        };
+        let report = optimize_program(&mut prog, &cfg);
+        assert_eq!(report.total().pipelined_reads, 2);
+        assert_eq!(report.total().reads_rewritten, 4);
+    }
+}

@@ -1,0 +1,732 @@
+//! Communication selection (the paper's §4.2).
+//!
+//! Consumes the possible-placement sets and produces a transformation
+//! [`Plan`]:
+//!
+//! 1. **Blocking** — for each pointer `p`, maximal *spans* of statements in
+//!    one statement sequence where `*p` is accessed only directly through
+//!    `p` (no aliased or callee accesses, `p` not redefined) are found. If
+//!    the cost model favours it, the whole struct is fetched into a local
+//!    buffer (`bcomm`) with one `blkmov`, every direct access in the span is
+//!    rewritten to a local buffer access, and — if the span contains writes
+//!    — a single `blkmov` writes the buffer back at the end of the span.
+//!    This subsumes the paper's RemoteFill mechanism: the up-front
+//!    whole-struct read guarantees every field is filled before the blocked
+//!    write-back, and rewriting *all* direct accesses (reads and writes)
+//!    preserves read-after-write semantics inside the span.
+//! 2. **Pipelined reads + redundancy elimination** — a top-down traversal
+//!    with a hash table of already-issued operations (keyed by original
+//!    access label, exactly as in the paper): at the earliest program point
+//!    where a read tuple is placeable with frequency ≥ 1, a split-phase
+//!    read into a `comm` temporary is inserted and every covered original
+//!    access is rewritten to use the temporary.
+//!
+//! Remote writes are only moved when it enables blocking (the paper's
+//! policy: "for remote writes, the communication is delayed if this
+//! enables blocked communication").
+
+use crate::config::CommOptConfig;
+use crate::placement::Placement;
+use earth_analysis::{AccessKind, FunctionAnalysis};
+use earth_ir::{
+    Basic, BlkDir, FieldId, Function, Label, MemRef, Place, Program, Rvalue, Stmt, StmtKind, Ty,
+    VarDecl, VarId, VarOrigin,
+};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// How a single original remote access is rewritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replace {
+    /// `dst = p~>f` becomes `dst = temp` (the read was issued earlier).
+    ReadToTemp(VarId),
+    /// `dst = p~>f` becomes `dst = buf.f` (covered by a block move).
+    ReadToBuf(VarId),
+    /// `p~>f = v` becomes `buf.f = v` (flushed by a block write-back).
+    WriteToBuf(VarId),
+}
+
+/// Counters describing what selection decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Number of blocked spans (each contributes one `blkmov` read).
+    pub blocked_spans: usize,
+    /// Number of blocked spans that also write back.
+    pub blocked_writebacks: usize,
+    /// Number of pipelined `comm = p~>f` reads inserted.
+    pub pipelined_reads: usize,
+    /// Number of original read statements rewritten (to temps or buffers).
+    pub reads_rewritten: usize,
+    /// Number of original write statements rewritten to buffer stores.
+    pub writes_rewritten: usize,
+}
+
+/// The output of communication selection: edits for the transformer.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// New basic statements to insert just before the given statement.
+    pub inserts_before: HashMap<Label, Vec<Basic>>,
+    /// New basic statements to insert just after the given statement.
+    pub inserts_after: HashMap<Label, Vec<Basic>>,
+    /// Rewrites of original remote accesses.
+    pub replace: HashMap<Label, Replace>,
+    /// Summary counters.
+    pub stats: SelectionStats,
+}
+
+/// Runs communication selection for `func` (which must belong to `prog`),
+/// adding communication temporaries and block buffers to `func` and
+/// returning the edit plan.
+pub fn select(
+    prog: &Program,
+    func: &mut Function,
+    fa: &FunctionAnalysis,
+    placement: &Placement,
+    cfg: &CommOptConfig,
+) -> Plan {
+    let mut sel = Selector {
+        prog,
+        fa,
+        cfg,
+        plan: Plan::default(),
+        covered: HashSet::new(),
+        comm_counter: 0,
+        buf_counter: 0,
+    };
+    if cfg.enable_blocking {
+        let body = func.body.clone();
+        sel.block_spans(func, placement, &body);
+    }
+    if cfg.enable_motion || cfg.enable_redundancy_elim {
+        let body = func.body.clone();
+        sel.pipelined_reads(func, placement, &body);
+    }
+    sel.plan
+}
+
+struct Selector<'a> {
+    prog: &'a Program,
+    fa: &'a FunctionAnalysis,
+    cfg: &'a CommOptConfig,
+    plan: Plan,
+    /// Labels of original accesses already rewritten.
+    covered: HashSet<Label>,
+    comm_counter: u32,
+    buf_counter: u32,
+}
+
+/// A direct remote access via one pointer found inside a span.
+#[derive(Debug, Clone, Copy)]
+struct SpanAccess {
+    label: Label,
+    field: FieldId,
+    is_write: bool,
+}
+
+impl Selector<'_> {
+    // ====================== Phase A: blocking ======================
+
+    /// Recursively processes every statement sequence, detecting blockable
+    /// spans among its children.
+    fn block_spans(&mut self, func: &mut Function, placement: &Placement, s: &Stmt) {
+        if let StmtKind::Seq(children) = &s.kind {
+            self.block_spans_in_seq(func, placement, children);
+        }
+        match &s.kind {
+            StmtKind::Seq(ss) | StmtKind::ParSeq(ss) => {
+                for c in ss {
+                    self.block_spans(func, placement, c);
+                }
+            }
+            StmtKind::Basic(_) => {}
+            StmtKind::If { then_s, else_s, .. } => {
+                self.block_spans(func, placement, then_s);
+                self.block_spans(func, placement, else_s);
+            }
+            StmtKind::Switch { cases, default, .. } => {
+                for (_, cs) in cases {
+                    self.block_spans(func, placement, cs);
+                }
+                self.block_spans(func, placement, default);
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                self.block_spans(func, placement, body)
+            }
+            StmtKind::Forall { body, .. } => self.block_spans(func, placement, body),
+        }
+    }
+
+    fn block_spans_in_seq(&mut self, func: &mut Function, placement: &Placement, children: &[Stmt]) {
+        // Candidate pointers: bases of direct remote derefs in the children,
+        // in order of first appearance.
+        let mut candidates: Vec<VarId> = Vec::new();
+        for c in children {
+            for h in self
+                .fa
+                .rw
+                .get(c.label)
+                .heap_reads
+                .iter()
+                .chain(self.fa.rw.get(c.label).heap_writes.iter())
+            {
+                if h.direct
+                    && func.deref_is_remote(h.base)
+                    && !candidates.contains(&h.base)
+                {
+                    candidates.push(h.base);
+                }
+            }
+        }
+        for p in candidates {
+            let mut k = 0;
+            while k < children.len() {
+                match self.try_span(func, placement, children, p, k) {
+                    Some(next_k) => k = next_k,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Attempts to build one blocked span for pointer `p` starting at or
+    /// after child index `from`. Returns the index to continue scanning
+    /// from, or `None` when no further direct access to `p` exists.
+    fn try_span(
+        &mut self,
+        func: &mut Function,
+        placement: &Placement,
+        children: &[Stmt],
+        p: VarId,
+        from: usize,
+    ) -> Option<usize> {
+        // Find the first child with an unclaimed direct access via p.
+        let start = (from..children.len()).find(|&i| {
+            self.has_unclaimed_direct_access(&children[i], p)
+                && self.child_compatible(&children[i], p) != Compat::Conflict
+        })?;
+
+        // Extend the span.
+        let mut end = start;
+        let mut terminal: Option<usize> = None;
+        #[allow(clippy::needless_range_loop)] // indices name span bounds
+        for k in start..children.len() {
+            match self.child_compatible(&children[k], p) {
+                Compat::Conflict => break,
+                Compat::Terminal => {
+                    // A basic statement that both uses and redefines p
+                    // (e.g. `p = p~>next`): include it and stop.
+                    if self.has_unclaimed_direct_access(&children[k], p) {
+                        terminal = Some(k);
+                    }
+                    break;
+                }
+                Compat::Ok => {
+                    if self.has_unclaimed_direct_access(&children[k], p) {
+                        end = k;
+                    }
+                }
+            }
+        }
+
+        // Collect the accesses inside [start, end] + terminal.
+        let mut accesses: Vec<SpanAccess> = Vec::new();
+        for child in &children[start..=end] {
+            self.collect_direct_accesses(child, p, &mut accesses);
+        }
+        if let Some(t) = terminal {
+            self.collect_direct_accesses(&children[t], p, &mut accesses);
+        }
+        accesses.retain(|a| !self.covered.contains(&a.label));
+
+        let read_fields: BTreeSet<FieldId> = accesses
+            .iter()
+            .filter(|a| !a.is_write)
+            .map(|a| a.field)
+            .collect();
+        let write_fields: BTreeSet<FieldId> = accesses
+            .iter()
+            .filter(|a| a.is_write)
+            .map(|a| a.field)
+            .collect();
+
+        let continue_at = terminal.map(|t| t + 1).unwrap_or(end + 1);
+        if accesses.is_empty() {
+            return Some(continue_at);
+        }
+
+        let sid = func
+            .var(p)
+            .ty
+            .struct_id()
+            .expect("deref base is a struct pointer");
+        let struct_words = self.prog.struct_def(sid).size_words();
+        // Partial block moves (the paper's §7 extension): only the
+        // contiguous field range covering all accessed fields needs to
+        // cross the network. Field reordering (see `layout`) shrinks it.
+        let lo_field = accesses.iter().map(|a| a.field.0).min().expect("non-empty");
+        let hi_field = accesses.iter().map(|a| a.field.0).max().expect("non-empty");
+        let range_words = (hi_field - lo_field + 1) as usize;
+        let range = if range_words == struct_words {
+            None
+        } else {
+            Some((lo_field, range_words as u32))
+        };
+        // A span that writes *every* transferred word before reading any
+        // needs no up-front block read (RemoteFill is trivially satisfied).
+        let full_init = read_fields.is_empty() && write_fields.len() == range_words;
+        if !self.cfg.should_block_ex(
+            read_fields.len(),
+            write_fields.len(),
+            range_words,
+            full_init,
+        ) {
+            return Some(continue_at);
+        }
+
+        // A span with writes must not contain an early return (the
+        // write-back would be skipped).
+        let has_writes = !write_fields.is_empty();
+        if has_writes {
+            let span_children =
+                &children[start..=terminal.unwrap_or(end)];
+            let contains_return = span_children.iter().any(|c| {
+                let mut found = false;
+                c.walk(&mut |st| {
+                    if matches!(st.kind, StmtKind::Basic(Basic::Return(_))) {
+                        found = true;
+                    }
+                });
+                found
+            });
+            if contains_return {
+                return Some(continue_at);
+            }
+        }
+
+        // The block read dereferences p at the span start; without
+        // speculation support it must be guaranteed on all paths there
+        // (the paper's footnote 2).
+        if !self.cfg.speculative_remote_ok
+            && !placement.deref_guaranteed(p, children[start].label)
+        {
+            return Some(continue_at);
+        }
+
+        // Choose the insertion anchor for the blkmov read: hoist upwards
+        // past compatible predecessors to overlap communication with
+        // computation.
+        let mut anchor = start;
+        while anchor > 0 {
+            let prev = &children[anchor - 1];
+            if self.fa.var_written(p, prev.label)
+                || self
+                    .fa
+                    .heap_conflict(p, None, prev.label, AccessKind::Write)
+            {
+                break;
+            }
+            if !self.cfg.speculative_remote_ok
+                && !placement.deref_guaranteed(p, prev.label)
+            {
+                break;
+            }
+            anchor -= 1;
+        }
+
+        // Allocate the buffer and record the edits.
+        self.buf_counter += 1;
+        let buf = func.add_var(VarDecl {
+            origin: VarOrigin::BlockBuffer,
+            ..VarDecl::new(format!("bcomm{}", self.buf_counter), Ty::Struct(sid))
+        });
+        if !full_init {
+            self.plan
+                .inserts_before
+                .entry(children[anchor].label)
+                .or_default()
+                .push(Basic::BlkMov {
+                    dir: BlkDir::RemoteToLocal,
+                    ptr: p,
+                    buf,
+                    range,
+                });
+        }
+        self.plan.stats.blocked_spans += 1;
+
+        for a in &accesses {
+            let action = if a.is_write {
+                self.plan.stats.writes_rewritten += 1;
+                Replace::WriteToBuf(buf)
+            } else {
+                self.plan.stats.reads_rewritten += 1;
+                Replace::ReadToBuf(buf)
+            };
+            self.plan.replace.insert(a.label, action);
+            self.covered.insert(a.label);
+        }
+
+        if has_writes {
+            self.plan.stats.blocked_writebacks += 1;
+            let writeback = Basic::BlkMov {
+                dir: BlkDir::LocalToRemote,
+                ptr: p,
+                buf,
+                range,
+            };
+            match terminal {
+                // The terminal statement redefines p: flush before it.
+                Some(t) => self
+                    .plan
+                    .inserts_before
+                    .entry(children[t].label)
+                    .or_default()
+                    .push(writeback),
+                None => self
+                    .plan
+                    .inserts_after
+                    .entry(children[end].label)
+                    .or_default()
+                    .push(writeback),
+            }
+        }
+
+        Some(continue_at)
+    }
+
+    /// Does this child contain at least one direct remote access via `p`
+    /// that has not been claimed by an earlier span?
+    fn has_unclaimed_direct_access(&self, child: &Stmt, p: VarId) -> bool {
+        let mut out = Vec::new();
+        self.collect_direct_accesses(child, p, &mut out);
+        out.iter().any(|a| !self.covered.contains(&a.label))
+    }
+
+    /// Collects all direct field-level remote accesses via `p` in the
+    /// subtree of `child`.
+    fn collect_direct_accesses(&self, child: &Stmt, p: VarId, out: &mut Vec<SpanAccess>) {
+        child.walk(&mut |st| {
+            if let StmtKind::Basic(Basic::Assign { dst, src }) = &st.kind {
+                if let Place::Mem(MemRef::Deref { base, field }) = dst {
+                    if *base == p {
+                        out.push(SpanAccess {
+                            label: st.label,
+                            field: *field,
+                            is_write: true,
+                        });
+                    }
+                }
+                if let Rvalue::Load(MemRef::Deref { base, field }) = src {
+                    if *base == p {
+                        out.push(SpanAccess {
+                            label: st.label,
+                            field: *field,
+                            is_write: false,
+                        });
+                    }
+                }
+            }
+        });
+    }
+
+    /// Classifies a child statement for span extension.
+    fn child_compatible(&self, child: &Stmt, p: VarId) -> Compat {
+        let rw = self.fa.rw.get(child.label);
+        // Any access to p's region that is not a direct field access via p
+        // itself is a conflict (aliased or callee access, or an existing
+        // whole-struct blkmov).
+        let aliased = rw
+            .heap_reads
+            .iter()
+            .chain(rw.heap_writes.iter())
+            .any(|h| {
+                self.fa.regions.connected(h.base, p)
+                    && !(h.base == p && h.direct && h.field.is_some())
+            });
+        if aliased {
+            return Compat::Conflict;
+        }
+        if rw.vars_written.contains(&p) {
+            // Only a basic statement that reads old p while redefining it
+            // can serve as a span terminal.
+            let is_terminal_basic = matches!(
+                &child.kind,
+                StmtKind::Basic(Basic::Assign {
+                    dst: Place::Var(d),
+                    src: Rvalue::Load(MemRef::Deref { base, .. }),
+                }) if *d == p && *base == p
+            );
+            return if is_terminal_basic {
+                Compat::Terminal
+            } else {
+                Compat::Conflict
+            };
+        }
+        Compat::Ok
+    }
+
+    // ================ Phase B: pipelined reads ================
+
+    /// Top-down traversal placing pipelined reads at their earliest point,
+    /// with the hash table of already-issued operations.
+    fn pipelined_reads(&mut self, func: &mut Function, placement: &Placement, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Seq(ss) => {
+                for child in ss {
+                    self.consider_anchor(func, placement, child);
+                    self.pipelined_reads(func, placement, child);
+                }
+            }
+            StmtKind::ParSeq(ss) => {
+                for child in ss {
+                    self.pipelined_reads(func, placement, child);
+                }
+            }
+            StmtKind::Basic(_) => {}
+            StmtKind::If { then_s, else_s, .. } => {
+                self.pipelined_reads(func, placement, then_s);
+                self.pipelined_reads(func, placement, else_s);
+            }
+            StmtKind::Switch { cases, default, .. } => {
+                for (_, cs) in cases {
+                    self.pipelined_reads(func, placement, cs);
+                }
+                self.pipelined_reads(func, placement, default);
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                self.pipelined_reads(func, placement, body)
+            }
+            StmtKind::Forall { body, .. } => self.pipelined_reads(func, placement, body),
+        }
+    }
+
+    /// Examines the RemoteReads set just before `child` and selects
+    /// candidates.
+    fn consider_anchor(&mut self, func: &mut Function, placement: &Placement, child: &Stmt) {
+        let Some(set) = placement.reads_before.get(&child.label) else {
+            return;
+        };
+        // Issue in original program order (earliest covered access first):
+        // the first access of a loop body is typically the loop-carried
+        // pointer advance, and delaying its issue behind other reads would
+        // lengthen the critical dependence chain.
+        let mut tuples: Vec<_> = set.iter().cloned().collect();
+        tuples.sort_by_key(|t| (t.labels.iter().min().copied(), t.base, t.field));
+        // Labels inside the anchor statement: tuples covering one must be
+        // issued before the anchor; tuples whose uses all come later are
+        // issued just after it, so they never delay the anchor's own
+        // (possibly remote, possibly chain-critical) issue.
+        let subtree: HashSet<Label> = child.labels().into_iter().collect();
+        for mut t in tuples {
+            // Remove labels already covered by the hash table or by spans.
+            t.labels.retain(|l| !self.covered.contains(l));
+            if t.labels.is_empty() {
+                continue;
+            }
+            if t.freq < self.cfg.freq.placement_threshold {
+                continue;
+            }
+            if t.speculative
+                && !self.cfg.speculative_remote_ok
+                && !placement.deref_guaranteed(t.base, child.label)
+            {
+                // The paper's footnote 2: without runtime support for
+                // speculative remote reads, a hoisted dereference needs a
+                // guaranteed dereference on every path from here.
+                continue;
+            }
+            if !self.cfg.enable_motion {
+                // Redundancy elimination only: the read stays at its first
+                // original site.
+                if !t.labels.contains(&child.label) {
+                    continue;
+                }
+            }
+            if t.labels.len() == 1 && t.labels.contains(&child.label) {
+                // Placing the read just before its only original site is
+                // the identity transformation; leave the statement alone.
+                continue;
+            }
+            if !self.cfg.enable_redundancy_elim && t.labels.len() > 1 {
+                // Without redundancy elimination each access keeps its own
+                // operation; restrict the tuple to the anchor's own access.
+                if t.labels.contains(&child.label) {
+                    t.labels = [child.label].into();
+                } else {
+                    continue;
+                }
+            }
+            // Issue the read here.
+            self.comm_counter += 1;
+            let field_ty = self
+                .prog
+                .struct_def(func.var(t.base).ty.struct_id().expect("pointer base"))
+                .field(t.field)
+                .ty;
+            let comm = func.add_var(VarDecl {
+                origin: VarOrigin::CommTemp,
+                ..VarDecl::new(format!("comm{}", self.comm_counter), field_ty)
+            });
+            let read = Basic::Assign {
+                dst: Place::Var(comm),
+                src: Rvalue::Load(MemRef::Deref {
+                    base: t.base,
+                    field: t.field,
+                }),
+            };
+            if t.labels.iter().any(|l| subtree.contains(l)) {
+                self.plan
+                    .inserts_before
+                    .entry(child.label)
+                    .or_default()
+                    .push(read);
+            } else {
+                self.plan
+                    .inserts_after
+                    .entry(child.label)
+                    .or_default()
+                    .push(read);
+            }
+            self.plan.stats.pipelined_reads += 1;
+            for l in &t.labels {
+                self.plan.replace.insert(*l, Replace::ReadToTemp(comm));
+                self.covered.insert(*l);
+                self.plan.stats.reads_rewritten += 1;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Compat {
+    Ok,
+    Terminal,
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CommOptConfig;
+    use crate::placement::analyze_placement;
+    use earth_frontend::compile;
+
+    fn plan_for(src: &str, func: &str, cfg: &CommOptConfig) -> (Plan, Function) {
+        let prog = compile(src).unwrap();
+        let analysis = earth_analysis::analyze(&prog);
+        let fid = prog.function_by_name(func).unwrap();
+        let mut f = prog.function(fid).clone();
+        let placement = analyze_placement(&f, analysis.function(fid), &cfg.freq);
+        let plan = select(&prog, &mut f, analysis.function(fid), &placement, cfg);
+        (plan, f)
+    }
+
+    const SPAN_SRC: &str = r#"
+        struct P { double a; double b; double c; };
+        double f(P *p) {
+            double x;
+            double y;
+            double z;
+            x = p->a;
+            y = p->b;
+            z = p->c;
+            return x + y + z;
+        }
+    "#;
+
+    #[test]
+    fn span_blocking_claims_all_access_labels() {
+        let (plan, f) = plan_for(SPAN_SRC, "f", &CommOptConfig::default());
+        assert_eq!(plan.stats.blocked_spans, 1);
+        assert_eq!(plan.stats.reads_rewritten, 3);
+        // All three loads replaced with buffer reads.
+        let bufs = plan
+            .replace
+            .values()
+            .filter(|r| matches!(r, Replace::ReadToBuf(_)))
+            .count();
+        assert_eq!(bufs, 3);
+        // The buffer variable was added to the function.
+        assert!(f.var_by_name("bcomm1").is_some());
+    }
+
+    #[test]
+    fn blocking_disabled_falls_back_to_pipelining() {
+        let cfg = CommOptConfig {
+            enable_blocking: false,
+            ..CommOptConfig::default()
+        };
+        let (plan, _f) = plan_for(SPAN_SRC, "f", &cfg);
+        assert_eq!(plan.stats.blocked_spans, 0);
+        // The first load already sits at the earliest point (identity
+        // placements are skipped); the other two get comm temps there.
+        assert_eq!(plan.stats.pipelined_reads, 2);
+    }
+
+    #[test]
+    fn full_init_span_skips_the_block_read() {
+        let src = r#"
+            struct P { int a; int b; int c; };
+            void init(P *p, int v) {
+                p->a = v;
+                p->b = v + 1;
+                p->c = v + 2;
+            }
+        "#;
+        let (plan, _f) = plan_for(src, "init", &CommOptConfig::default());
+        assert_eq!(plan.stats.blocked_spans, 1);
+        assert_eq!(plan.stats.blocked_writebacks, 1);
+        // Only the write-back blkmov exists: one insert total.
+        let total_inserts: usize = plan
+            .inserts_before
+            .values()
+            .chain(plan.inserts_after.values())
+            .map(|v| v.len())
+            .sum();
+        assert_eq!(total_inserts, 1, "{plan:?}");
+    }
+
+    #[test]
+    fn partial_range_covers_only_accessed_cluster() {
+        let src = r#"
+            struct Wide { int a; int b; int c; int d; int e; int f; int g; int h; };
+            int mid(Wide *w) {
+                return w->c + w->d + w->e;
+            }
+        "#;
+        let (plan, _f) = plan_for(src, "mid", &CommOptConfig::default());
+        assert_eq!(plan.stats.blocked_spans, 1);
+        let blk = plan
+            .inserts_before
+            .values()
+            .flatten()
+            .find_map(|b| match b {
+                Basic::BlkMov { range, .. } => Some(*range),
+                _ => None,
+            })
+            .expect("a block read");
+        assert_eq!(blk, Some((2, 3)), "fields c..e");
+    }
+
+    #[test]
+    fn aliased_access_splits_spans() {
+        let src = r#"
+            struct P { double a; double b; double c; };
+            double f(P *p) {
+                P *q;
+                double x;
+                double y;
+                double z;
+                q = p;
+                x = p->a;
+                q->b = 1.0;
+                y = p->b;
+                z = p->c;
+                return x + y + z;
+            }
+        "#;
+        let (plan, _f) = plan_for(src, "f", &CommOptConfig::default());
+        // The aliased write via q prevents one big span over all of p's
+        // accesses; at most the trailing reads could block (2 fields:
+        // below threshold), so no spans at all.
+        assert_eq!(plan.stats.blocked_spans, 0, "{plan:?}");
+    }
+}

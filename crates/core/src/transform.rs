@@ -1,0 +1,150 @@
+//! Applies a selection [`Plan`] to a function body.
+
+use crate::selection::{Plan, Replace};
+use earth_ir::{Basic, Function, Label, MemRef, Place, Rvalue, Stmt, StmtKind};
+
+/// Rewrites `func`'s body according to `plan`: inserts the planned
+/// communication statements and rewrites the covered remote accesses.
+///
+/// Inserted statements receive fresh labels; original statements keep
+/// theirs, so analysis results remain addressable after transformation.
+///
+/// # Panics
+///
+/// Panics if the plan refers to labels that do not exist or replaces
+/// statements that are not remote accesses (both indicate an internal
+/// selection bug).
+pub fn apply_plan(func: &mut Function, plan: &Plan) {
+    let body = std::mem::replace(
+        &mut func.body,
+        Stmt {
+            label: Label(0),
+            kind: StmtKind::Seq(Vec::new()),
+        },
+    );
+    let new_body = rewrite(func, body, plan);
+    func.body = new_body;
+    func.sync_label_counter();
+}
+
+fn rewrite(func: &mut Function, s: Stmt, plan: &Plan) -> Stmt {
+    let label = s.label;
+    let kind = match s.kind {
+        StmtKind::Seq(children) => {
+            let mut out = Vec::with_capacity(children.len());
+            for child in children {
+                let child_label = child.label;
+                if let Some(inserts) = plan.inserts_before.get(&child_label) {
+                    for b in inserts {
+                        let l = func.fresh_label();
+                        out.push(Stmt {
+                            label: l,
+                            kind: StmtKind::Basic(b.clone()),
+                        });
+                    }
+                }
+                out.push(rewrite(func, child, plan));
+                if let Some(inserts) = plan.inserts_after.get(&child_label) {
+                    for b in inserts {
+                        let l = func.fresh_label();
+                        out.push(Stmt {
+                            label: l,
+                            kind: StmtKind::Basic(b.clone()),
+                        });
+                    }
+                }
+            }
+            StmtKind::Seq(out)
+        }
+        StmtKind::ParSeq(children) => StmtKind::ParSeq(
+            children
+                .into_iter()
+                .map(|c| rewrite(func, c, plan))
+                .collect(),
+        ),
+        StmtKind::Basic(b) => StmtKind::Basic(match plan.replace.get(&label) {
+            Some(action) => apply_replace(b, *action),
+            None => b,
+        }),
+        StmtKind::If {
+            cond,
+            then_s,
+            else_s,
+        } => StmtKind::If {
+            cond,
+            then_s: Box::new(rewrite(func, *then_s, plan)),
+            else_s: Box::new(rewrite(func, *else_s, plan)),
+        },
+        StmtKind::Switch {
+            scrut,
+            cases,
+            default,
+        } => StmtKind::Switch {
+            scrut,
+            cases: cases
+                .into_iter()
+                .map(|(v, c)| (v, rewrite(func, c, plan)))
+                .collect(),
+            default: Box::new(rewrite(func, *default, plan)),
+        },
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond,
+            body: Box::new(rewrite(func, *body, plan)),
+        },
+        StmtKind::DoWhile { body, cond } => StmtKind::DoWhile {
+            body: Box::new(rewrite(func, *body, plan)),
+            cond,
+        },
+        StmtKind::Forall {
+            init,
+            cond,
+            step,
+            body,
+        } => StmtKind::Forall {
+            init: Box::new(rewrite(func, *init, plan)),
+            cond,
+            step: Box::new(rewrite(func, *step, plan)),
+            body: Box::new(rewrite(func, *body, plan)),
+        },
+    };
+    Stmt { label, kind }
+}
+
+fn apply_replace(b: Basic, action: Replace) -> Basic {
+    match (b, action) {
+        // dst = p~>f  ==>  dst = temp
+        (
+            Basic::Assign {
+                dst,
+                src: Rvalue::Load(MemRef::Deref { .. }),
+            },
+            Replace::ReadToTemp(temp),
+        ) => Basic::Assign {
+            dst,
+            src: Rvalue::Use(earth_ir::Operand::Var(temp)),
+        },
+        // dst = p~>f  ==>  dst = buf.f
+        (
+            Basic::Assign {
+                dst,
+                src: Rvalue::Load(MemRef::Deref { field, .. }),
+            },
+            Replace::ReadToBuf(buf),
+        ) => Basic::Assign {
+            dst,
+            src: Rvalue::Load(MemRef::Field { base: buf, field }),
+        },
+        // p~>f = v  ==>  buf.f = v
+        (
+            Basic::Assign {
+                dst: Place::Mem(MemRef::Deref { field, .. }),
+                src,
+            },
+            Replace::WriteToBuf(buf),
+        ) => Basic::Assign {
+            dst: Place::Mem(MemRef::Field { base: buf, field }),
+            src,
+        },
+        (b, action) => panic!("plan action {action:?} does not match statement {b:?}"),
+    }
+}

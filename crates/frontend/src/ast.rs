@@ -1,0 +1,252 @@
+//! Abstract syntax tree for the EARTH-C subset.
+//!
+//! The AST is the parser's output; the [`lower`](crate::lower) pass
+//! type-checks it and produces three-address SIMPLE IR.
+
+use crate::token::Pos;
+
+/// A type as written in source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `double`
+    Double,
+    /// `void` (function returns only)
+    Void,
+    /// A named struct used by value: `Point s;`
+    Struct(String),
+    /// A pointer to a named struct: `Point *p;`
+    Ptr(String),
+}
+
+/// Qualifiers that may precede a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Quals {
+    /// `local` — dereferences are local memory accesses.
+    pub local: bool,
+    /// `shared` — accessed via atomic operations.
+    pub shared: bool,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDecl {
+    pub name: String,
+    /// Field declarations `(type, name)`; struct-typed fields are allowed
+    /// and flattened during lowering.
+    pub fields: Vec<(TypeExpr, String)>,
+    pub pos: Pos,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub ty: TypeExpr,
+    pub quals: Quals,
+    pub name: String,
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    pub ret: TypeExpr,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    pub pos: Pos,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Struct(StructDecl),
+    Func(FuncDecl),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    pub items: Vec<Item>,
+}
+
+/// Binary operators at the AST level (including logical operators that the
+/// simplifier lowers into branches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Unary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnOp {
+    Neg,
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Double literal.
+    Double(f64, Pos),
+    /// `NULL`
+    Null(Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Field-path access: `base->a.b` (`arrow == true`) or `base.a.b`
+    /// (`arrow == false`). `(*p).f` parses as the arrow form.
+    FieldPath {
+        base: String,
+        arrow: bool,
+        path: Vec<String>,
+        pos: Pos,
+    },
+    /// Binary operation.
+    Binary {
+        op: AstBinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
+    /// Unary operation.
+    Unary {
+        op: AstUnOp,
+        arg: Box<Expr>,
+        pos: Pos,
+    },
+    /// Function or builtin call, optionally with an `@` placement.
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        at: Option<AtClause>,
+        pos: Pos,
+    },
+    /// `&var` — only valid as an argument to `writeto`/`addto`/`valueof`.
+    AddrOf(String, Pos),
+    /// `sizeof(StructName)` — only valid inside `malloc`-family calls.
+    Sizeof(String, Pos),
+}
+
+impl Expr {
+    /// The source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Double(_, p)
+            | Expr::Null(p)
+            | Expr::Var(_, p)
+            | Expr::AddrOf(_, p)
+            | Expr::Sizeof(_, p) => *p,
+            Expr::FieldPath { pos, .. }
+            | Expr::Binary { pos, .. }
+            | Expr::Unary { pos, .. }
+            | Expr::Call { pos, .. } => *pos,
+        }
+    }
+}
+
+/// An `@` placement clause on a call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtClause {
+    /// `@ OWNER_OF(p)`
+    OwnerOf(String),
+    /// `@ expr` — explicit node id.
+    Node(Box<Expr>),
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// `x`
+    Var(String, Pos),
+    /// `base->a.b` or `base.a.b` (see [`Expr::FieldPath`]).
+    FieldPath {
+        base: String,
+        arrow: bool,
+        path: Vec<String>,
+        pos: Pos,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl {
+        ty: TypeExpr,
+        quals: Quals,
+        name: String,
+        init: Option<Expr>,
+        pos: Pos,
+    },
+    /// `lv = expr;`
+    Assign { lv: LValue, rhs: Expr, pos: Pos },
+    /// Expression statement (a call evaluated for effect).
+    ExprStmt(Expr),
+    /// `if (c) s [else s]`
+    If {
+        cond: Expr,
+        then_s: Vec<Stmt>,
+        else_s: Vec<Stmt>,
+        pos: Pos,
+    },
+    /// `while (c) s`
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    /// `do s while (c);`
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+        pos: Pos,
+    },
+    /// `for (init; cond; step) body` — `init`/`step` are assignments or
+    /// calls.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    /// `forall (init; cond; step) body`
+    Forall {
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    /// `switch (e) { case v: ... }`
+    Switch {
+        scrut: Expr,
+        cases: Vec<(i64, Vec<Stmt>)>,
+        default: Vec<Stmt>,
+        pos: Pos,
+    },
+    /// `return [e];`
+    Return(Option<Expr>, Pos),
+    /// `{^ arm1; arm2; ... ^}` — each top-level statement is one parallel
+    /// arm.
+    ParSeq(Vec<Stmt>, Pos),
+    /// `{ ... }` nested block (introduces no new scope semantics beyond
+    /// declaration ordering; shadowing is rejected during lowering).
+    Block(Vec<Stmt>),
+}

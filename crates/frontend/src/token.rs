@@ -1,0 +1,525 @@
+//! Lexer for the EARTH-C subset.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds of the EARTH-C subset.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // token names mirror their lexemes
+pub enum Tok {
+    /// Identifier or keyword-adjacent name.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+
+    // Keywords.
+    KwStruct,
+    KwInt,
+    KwDouble,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwForall,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwReturn,
+    KwLocal,
+    KwShared,
+    KwNull,
+    KwOwnerOf,
+    KwSizeof,
+
+    // Punctuation and operators.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Colon,
+    Arrow,     // ->
+    Dot,       // .
+    Star,      // *
+    Slash,     // /
+    Percent,   // %
+    Plus,      // +
+    Minus,     // -
+    Assign,    // =
+    EqEq,      // ==
+    NotEq,     // !=
+    Lt,        // <
+    Le,        // <=
+    Gt,        // >
+    Ge,        // >=
+    AndAnd,    // &&
+    OrOr,      // ||
+    Not,       // !
+    Amp,       // &
+    At,        // @
+    ParOpen,   // {^
+    ParClose,  // ^}
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Double(v) => write!(f, "double `{v}`"),
+            Tok::KwStruct => write!(f, "`struct`"),
+            Tok::KwInt => write!(f, "`int`"),
+            Tok::KwDouble => write!(f, "`double`"),
+            Tok::KwVoid => write!(f, "`void`"),
+            Tok::KwIf => write!(f, "`if`"),
+            Tok::KwElse => write!(f, "`else`"),
+            Tok::KwWhile => write!(f, "`while`"),
+            Tok::KwDo => write!(f, "`do`"),
+            Tok::KwFor => write!(f, "`for`"),
+            Tok::KwForall => write!(f, "`forall`"),
+            Tok::KwSwitch => write!(f, "`switch`"),
+            Tok::KwCase => write!(f, "`case`"),
+            Tok::KwDefault => write!(f, "`default`"),
+            Tok::KwBreak => write!(f, "`break`"),
+            Tok::KwReturn => write!(f, "`return`"),
+            Tok::KwLocal => write!(f, "`local`"),
+            Tok::KwShared => write!(f, "`shared`"),
+            Tok::KwNull => write!(f, "`NULL`"),
+            Tok::KwOwnerOf => write!(f, "`OWNER_OF`"),
+            Tok::KwSizeof => write!(f, "`sizeof`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Not => write!(f, "`!`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::At => write!(f, "`@`"),
+            Tok::ParOpen => write!(f, "`{{^`"),
+            Tok::ParClose => write!(f, "`^}}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes EARTH-C source.
+///
+/// Supports `//` line comments and `/* */` block comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters or malformed numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut pos = Pos::default();
+
+    let advance = |pos: &mut Pos, c: char| {
+        if c == '\n' {
+            pos.line += 1;
+            pos.col = 1;
+        } else {
+            pos.col += 1;
+        }
+    };
+
+    macro_rules! bump {
+        () => {{
+            advance(&mut pos, chars[i]);
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start = pos;
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                s.push(chars[i]);
+                bump!();
+            }
+            let tok = match s.as_str() {
+                "struct" => Tok::KwStruct,
+                "int" => Tok::KwInt,
+                "double" => Tok::KwDouble,
+                "void" => Tok::KwVoid,
+                "if" => Tok::KwIf,
+                "else" => Tok::KwElse,
+                "while" => Tok::KwWhile,
+                "do" => Tok::KwDo,
+                "for" => Tok::KwFor,
+                "forall" => Tok::KwForall,
+                "switch" => Tok::KwSwitch,
+                "case" => Tok::KwCase,
+                "default" => Tok::KwDefault,
+                "break" => Tok::KwBreak,
+                "return" => Tok::KwReturn,
+                "local" => Tok::KwLocal,
+                "shared" => Tok::KwShared,
+                "NULL" => Tok::KwNull,
+                "OWNER_OF" => Tok::KwOwnerOf,
+                "sizeof" => Tok::KwSizeof,
+                _ => Tok::Ident(s),
+            };
+            out.push(Token { tok, pos: start });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut s = String::new();
+            let mut is_double = false;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                s.push(chars[i]);
+                bump!();
+            }
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                is_double = true;
+                s.push('.');
+                bump!();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    s.push(chars[i]);
+                    bump!();
+                }
+            }
+            // Exponent.
+            if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                let mut j = i + 1;
+                if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j].is_ascii_digit() {
+                    is_double = true;
+                    while i < j {
+                        s.push(chars[i]);
+                        bump!();
+                    }
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        s.push(chars[i]);
+                        bump!();
+                    }
+                }
+            }
+            let tok = if is_double {
+                Tok::Double(s.parse().map_err(|_| LexError {
+                    pos: start,
+                    message: format!("malformed double literal `{s}`"),
+                })?)
+            } else {
+                Tok::Int(s.parse().map_err(|_| LexError {
+                    pos: start,
+                    message: format!("integer literal out of range `{s}`"),
+                })?)
+            };
+            out.push(Token { tok, pos: start });
+            continue;
+        }
+        // Multi-character operators.
+        let two = |a: char, b: char| i + 1 < chars.len() && c == a && chars[i + 1] == b;
+        let tok = if two('{', '^') {
+            bump!();
+            bump!();
+            Tok::ParOpen
+        } else if two('^', '}') {
+            bump!();
+            bump!();
+            Tok::ParClose
+        } else if two('-', '>') {
+            bump!();
+            bump!();
+            Tok::Arrow
+        } else if two('=', '=') {
+            bump!();
+            bump!();
+            Tok::EqEq
+        } else if two('!', '=') {
+            bump!();
+            bump!();
+            Tok::NotEq
+        } else if two('<', '=') {
+            bump!();
+            bump!();
+            Tok::Le
+        } else if two('>', '=') {
+            bump!();
+            bump!();
+            Tok::Ge
+        } else if two('&', '&') {
+            bump!();
+            bump!();
+            Tok::AndAnd
+        } else if two('|', '|') {
+            bump!();
+            bump!();
+            Tok::OrOr
+        } else {
+            let t = match c {
+                '{' => Tok::LBrace,
+                '}' => Tok::RBrace,
+                '(' => Tok::LParen,
+                ')' => Tok::RParen,
+                ';' => Tok::Semi,
+                ',' => Tok::Comma,
+                ':' => Tok::Colon,
+                '.' => Tok::Dot,
+                '*' => Tok::Star,
+                '/' => Tok::Slash,
+                '%' => Tok::Percent,
+                '+' => Tok::Plus,
+                '-' => Tok::Minus,
+                '=' => Tok::Assign,
+                '<' => Tok::Lt,
+                '>' => Tok::Gt,
+                '!' => Tok::Not,
+                '&' => Tok::Amp,
+                '@' => Tok::At,
+                other => {
+                    return Err(LexError {
+                        pos: start,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            };
+            bump!();
+            t
+        };
+        out.push(Token { tok, pos: start });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("struct Point int foo"),
+            vec![
+                Tok::KwStruct,
+                Tok::Ident("Point".into()),
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 2.25 1e3 7"),
+            vec![
+                Tok::Int(42),
+                Tok::Double(2.25),
+                Tok::Double(1000.0),
+                Tok::Int(7),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("p->x == q.y && a != b"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Arrow,
+                Tok::Ident("x".into()),
+                Tok::EqEq,
+                Tok::Ident("q".into()),
+                Tok::Dot,
+                Tok::Ident("y".into()),
+                Tok::AndAnd,
+                Tok::Ident("a".into()),
+                Tok::NotEq,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_sequence_tokens() {
+        assert_eq!(
+            toks("{^ a; b; ^}"),
+            vec![
+                Tok::ParOpen,
+                Tok::Ident("a".into()),
+                Tok::Semi,
+                Tok::Ident("b".into()),
+                Tok::Semi,
+                Tok::ParClose,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // hello\nb /* multi\nline */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.message.contains("unexpected"));
+        assert_eq!(e.pos.col, 3);
+    }
+
+    #[test]
+    fn at_owner_of() {
+        assert_eq!(
+            toks("f(x) @ OWNER_OF(p)"),
+            vec![
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::At,
+                Tok::KwOwnerOf,
+                Tok::LParen,
+                Tok::Ident("p".into()),
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+}

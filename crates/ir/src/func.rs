@@ -1,0 +1,324 @@
+//! Functions and whole programs.
+
+use crate::stmt::{Label, Stmt, StmtKind};
+use crate::types::{StructDef, StructId, Ty};
+use crate::var::{VarDecl, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Zero-based index into [`Program::functions`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// A function in SIMPLE form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Source-level name.
+    pub name: String,
+    /// Parameters, in declaration order, as indices into the variable table.
+    pub params: Vec<VarId>,
+    /// Return type; `None` for `void`.
+    pub ret_ty: Option<Ty>,
+    /// The function body (usually a `Seq`).
+    pub body: Stmt,
+    vars: Vec<VarDecl>,
+    next_label: u32,
+}
+
+impl Function {
+    /// Creates an empty function shell; normally constructed through
+    /// [`FunctionBuilder`](crate::builder::FunctionBuilder).
+    pub fn new(name: impl Into<String>, ret_ty: Option<Ty>) -> Self {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret_ty,
+            body: Stmt {
+                label: Label(0),
+                kind: StmtKind::Seq(Vec::new()),
+            },
+            vars: Vec::new(),
+            next_label: 1,
+        }
+    }
+
+    /// Adds a variable declaration and returns its id.
+    pub fn add_var(&mut self, decl: VarDecl) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(decl);
+        id
+    }
+
+    /// Adds a parameter (a variable also listed in [`Function::params`]).
+    pub fn add_param(&mut self, decl: VarDecl) -> VarId {
+        let id = self.add_var(decl);
+        self.params.push(id);
+        id
+    }
+
+    /// The declaration of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this function.
+    pub fn var(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.index()]
+    }
+
+    /// Mutable access to the declaration of `v`.
+    pub fn var_mut(&mut self, v: VarId) -> &mut VarDecl {
+        &mut self.vars[v.index()]
+    }
+
+    /// All variable declarations, indexable by [`VarId::index`].
+    pub fn vars(&self) -> &[VarDecl] {
+        &self.vars
+    }
+
+    /// Iterates over `(VarId, &VarDecl)` pairs.
+    pub fn iter_vars(&self) -> impl Iterator<Item = (VarId, &VarDecl)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (VarId(i as u32), d))
+    }
+
+    /// Looks a variable up by name (first match).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Allocates a fresh statement label.
+    pub fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Number of labels ever allocated (upper bound for dense label maps).
+    pub fn label_bound(&self) -> usize {
+        self.next_label as usize
+    }
+
+    /// Ensures the internal label counter exceeds every label in the body.
+    ///
+    /// Call after splicing in statements built elsewhere.
+    pub fn sync_label_counter(&mut self) {
+        let mut max = self.next_label;
+        self.body.walk(&mut |s| {
+            if s.label.0 + 1 > max {
+                max = s.label.0 + 1;
+            }
+        });
+        self.next_label = max;
+    }
+
+    /// Whether a dereference `v->f` in this function is potentially remote.
+    pub fn deref_is_remote(&self, v: VarId) -> bool {
+        self.var(v).deref_is_remote()
+    }
+
+    /// Collects every basic statement of the body, pre-order, with labels.
+    pub fn basic_stmts(&self) -> Vec<(Label, &crate::stmt::Basic)> {
+        let mut out = Vec::new();
+        self.body.walk(&mut |s| {
+            if let StmtKind::Basic(b) = &s.kind {
+                out.push((s.label, b));
+            }
+        });
+        out
+    }
+}
+
+/// A whole program: struct types plus functions.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    structs: Vec<StructDef>,
+    functions: Vec<Function>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a struct type and returns its id.
+    pub fn add_struct(&mut self, def: StructDef) -> StructId {
+        let id = StructId(self.structs.len() as u32);
+        self.structs.push(def);
+        id
+    }
+
+    /// Adds a function and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function of the same name already exists.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        let prev = self.by_name.insert(f.name.clone(), id);
+        assert!(prev.is_none(), "duplicate function name: {}", f.name);
+        self.functions.push(f);
+        id
+    }
+
+    /// The struct definition for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn struct_def(&self, id: StructId) -> &StructDef {
+        &self.structs[id.index()]
+    }
+
+    /// All struct definitions, indexable by [`StructId::index`].
+    pub fn structs(&self) -> &[StructDef] {
+        &self.structs
+    }
+
+    /// Replaces the definition of struct `id` (used by the frontend when
+    /// flattening nested struct fields in a second pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the name changes.
+    pub fn set_struct_def(&mut self, id: StructId, def: StructDef) {
+        assert_eq!(
+            self.structs[id.index()].name, def.name,
+            "set_struct_def must preserve the name"
+        );
+        self.structs[id.index()] = def;
+    }
+
+    /// Looks a struct up by name.
+    pub fn struct_by_name(&self, name: &str) -> Option<StructId> {
+        self.structs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StructId(i as u32))
+    }
+
+    /// The function for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to the function for `id`.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// All functions, indexable by [`FuncId::index`].
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Iterates over `(FuncId, &Function)` pairs.
+    pub fn iter_functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Replaces the function at `id` (used by transformation passes).
+    pub fn replace_function(&mut self, id: FuncId, f: Function) {
+        assert_eq!(
+            self.functions[id.index()].name,
+            f.name,
+            "replace_function must preserve the name"
+        );
+        self.functions[id.index()] = f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::Basic;
+    use crate::types::FieldDef;
+
+    #[test]
+    fn program_lookup() {
+        let mut p = Program::new();
+        let sid = p.add_struct(StructDef {
+            name: "Point".into(),
+            fields: vec![FieldDef {
+                name: "x".into(),
+                ty: Ty::Double,
+            }],
+        });
+        assert_eq!(p.struct_by_name("Point"), Some(sid));
+        let f = Function::new("main", Some(Ty::Int));
+        let fid = p.add_function(f);
+        assert_eq!(p.function_by_name("main"), Some(fid));
+        assert_eq!(p.function(fid).name, "main");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_function_panics() {
+        let mut p = Program::new();
+        p.add_function(Function::new("f", None));
+        p.add_function(Function::new("f", None));
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut f = Function::new("g", None);
+        let a = f.fresh_label();
+        let b = f.fresh_label();
+        assert_ne!(a, b);
+        assert!(f.label_bound() > b.0 as usize);
+    }
+
+    #[test]
+    fn sync_label_counter_covers_body() {
+        let mut f = Function::new("g", None);
+        f.body = Stmt {
+            label: Label(41),
+            kind: StmtKind::Seq(vec![Stmt {
+                label: Label(99),
+                kind: StmtKind::Basic(Basic::Return(None)),
+            }]),
+        };
+        f.sync_label_counter();
+        assert!(f.fresh_label().0 >= 100);
+    }
+
+    #[test]
+    fn var_lookup_by_name() {
+        let mut f = Function::new("g", None);
+        let v = f.add_param(VarDecl::new("p", Ty::Int));
+        assert_eq!(f.var_by_name("p"), Some(v));
+        assert_eq!(f.var_by_name("q"), None);
+        assert_eq!(f.params, vec![v]);
+    }
+}

@@ -1,0 +1,501 @@
+//! Pretty-printer for the SIMPLE IR.
+//!
+//! Output mimics the paper's presentation: three-address statements, one per
+//! line, with potentially-remote dereferences printed as `p~>f` (the paper
+//! underlines them; plain text cannot) while local struct-field accesses are
+//! printed `s.f` and local dereferences `p->f`.
+
+use crate::func::{FuncId, Function, Program};
+use crate::stmt::{
+    AtTarget, Basic, BlkDir, Cond, MemRef, Operand, Place, Rvalue, Stmt, StmtKind,
+};
+use crate::types::StructId;
+use std::fmt::Write;
+
+/// Options controlling pretty-printing.
+#[derive(Debug, Clone)]
+pub struct PrettyOptions {
+    /// Prefix each basic statement with its label (`S4:`).
+    pub show_labels: bool,
+    /// Spaces per indentation level.
+    pub indent: usize,
+}
+
+impl Default for PrettyOptions {
+    fn default() -> Self {
+        PrettyOptions {
+            show_labels: true,
+            indent: 2,
+        }
+    }
+}
+
+/// Renders a whole program.
+pub fn print_program(prog: &Program) -> String {
+    let opts = PrettyOptions::default();
+    let mut out = String::new();
+    for (i, s) in prog.structs().iter().enumerate() {
+        let _ = writeln!(out, "struct {} {{ /* {} words */", s.name, s.size_words());
+        for f in &s.fields {
+            let _ = writeln!(out, "  {} {};", ty_name(prog, f.ty), f.name);
+        }
+        let _ = writeln!(out, "}};");
+        if i + 1 < prog.structs().len() {
+            out.push('\n');
+        }
+    }
+    if !prog.structs().is_empty() {
+        out.push('\n');
+    }
+    for (id, _) in prog.iter_functions() {
+        out.push_str(&print_function(prog, id, &opts));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function with default options.
+pub fn print_function_default(prog: &Program, id: FuncId) -> String {
+    print_function(prog, id, &PrettyOptions::default())
+}
+
+/// Renders one function.
+pub fn print_function(prog: &Program, id: FuncId, opts: &PrettyOptions) -> String {
+    let f = prog.function(id);
+    let mut p = Printer {
+        prog,
+        func: f,
+        opts,
+        out: String::new(),
+        level: 0,
+    };
+    p.function();
+    p.out
+}
+
+fn ty_name(prog: &Program, ty: crate::types::Ty) -> String {
+    use crate::types::Ty;
+    match ty {
+        Ty::Int => "int".into(),
+        Ty::Double => "double".into(),
+        Ty::Ptr(s) => format!("{}*", struct_name(prog, s)),
+        Ty::Struct(s) => struct_name(prog, s),
+    }
+}
+
+fn struct_name(prog: &Program, s: StructId) -> String {
+    prog.struct_def(s).name.clone()
+}
+
+struct Printer<'a> {
+    prog: &'a Program,
+    func: &'a Function,
+    opts: &'a PrettyOptions,
+    out: String,
+    level: usize,
+}
+
+impl Printer<'_> {
+    fn function(&mut self) {
+        let ret = self
+            .func
+            .ret_ty
+            .map(|t| ty_name(self.prog, t))
+            .unwrap_or_else(|| "void".into());
+        let params: Vec<String> = self
+            .func
+            .params
+            .iter()
+            .map(|&v| {
+                let d = self.func.var(v);
+                let loc = if d.ty.is_ptr() && !d.deref_is_remote() {
+                    " local"
+                } else {
+                    ""
+                };
+                format!("{}{} {}", ty_name(self.prog, d.ty), loc, d.name)
+            })
+            .collect();
+        let _ = writeln!(self.out, "{ret} {}({}) {{", self.func.name, params.join(", "));
+        self.level += 1;
+        // Declarations for non-parameter variables.
+        for (v, d) in self.func.iter_vars() {
+            if self.func.params.contains(&v) {
+                continue;
+            }
+            let quals = match (d.shared, d.ty.is_ptr() && !d.deref_is_remote()) {
+                (true, _) => "shared ",
+                (false, true) => "local ",
+                _ => "",
+            };
+            self.line(&format!("{}{} {};", quals, ty_name(self.prog, d.ty), d.name));
+        }
+        self.stmt_children_of_body();
+        self.level -= 1;
+        let _ = writeln!(self.out, "}}");
+    }
+
+    fn stmt_children_of_body(&mut self) {
+        // The body is a Seq; print its children without an extra brace level.
+        let body = self.func.body.clone();
+        if let StmtKind::Seq(ss) = &body.kind {
+            for s in ss {
+                self.stmt(s);
+            }
+        } else {
+            self.stmt(&body);
+        }
+    }
+
+    fn indent_str(&self) -> String {
+        " ".repeat(self.level * self.opts.indent)
+    }
+
+    fn line(&mut self, text: &str) {
+        let _ = writeln!(self.out, "{}{}", self.indent_str(), text);
+    }
+
+    fn labelled_line(&mut self, s: &Stmt, text: &str) {
+        if self.opts.show_labels {
+            self.line(&format!("{}: {}", s.label, text));
+        } else {
+            self.line(text);
+        }
+    }
+
+    fn block(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Seq(ss) => {
+                for c in ss {
+                    self.stmt(c);
+                }
+            }
+            _ => self.stmt(s),
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Seq(ss) => {
+                self.line("{");
+                self.level += 1;
+                for c in ss {
+                    self.stmt(c);
+                }
+                self.level -= 1;
+                self.line("}");
+            }
+            StmtKind::Basic(b) => {
+                let text = self.basic(b);
+                self.labelled_line(s, &text);
+            }
+            StmtKind::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                self.labelled_line(s, &format!("if ({}) {{", self.cond(cond)));
+                self.level += 1;
+                self.block(then_s);
+                self.level -= 1;
+                if else_s.is_empty_seq() {
+                    self.line("}");
+                } else {
+                    self.line("} else {");
+                    self.level += 1;
+                    self.block(else_s);
+                    self.level -= 1;
+                    self.line("}");
+                }
+            }
+            StmtKind::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                self.labelled_line(s, &format!("switch ({}) {{", self.operand(*scrut)));
+                self.level += 1;
+                for (v, cs) in cases {
+                    self.line(&format!("case {v}:"));
+                    self.level += 1;
+                    self.block(cs);
+                    self.line("break;");
+                    self.level -= 1;
+                }
+                if !default.is_empty_seq() {
+                    self.line("default:");
+                    self.level += 1;
+                    self.block(default);
+                    self.level -= 1;
+                }
+                self.level -= 1;
+                self.line("}");
+            }
+            StmtKind::While { cond, body } => {
+                self.labelled_line(s, &format!("while ({}) {{", self.cond(cond)));
+                self.level += 1;
+                self.block(body);
+                self.level -= 1;
+                self.line("}");
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.labelled_line(s, "do {");
+                self.level += 1;
+                self.block(body);
+                self.level -= 1;
+                self.line(&format!("}} while ({});", self.cond(cond)));
+            }
+            StmtKind::ParSeq(arms) => {
+                self.labelled_line(s, "{^");
+                self.level += 1;
+                for (i, arm) in arms.iter().enumerate() {
+                    if i > 0 {
+                        self.line("//  ||");
+                    }
+                    self.block(arm);
+                }
+                self.level -= 1;
+                self.line("^}");
+            }
+            StmtKind::Forall {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init_s = match &init.kind {
+                    StmtKind::Basic(b) => self.basic_expr_only(b),
+                    _ => "...".into(),
+                };
+                let step_s = match &step.kind {
+                    StmtKind::Basic(b) => self.basic_expr_only(b),
+                    _ => "...".into(),
+                };
+                self.labelled_line(
+                    s,
+                    &format!("forall ({init_s}; {}; {step_s}) {{", self.cond(cond)),
+                );
+                self.level += 1;
+                self.block(body);
+                self.level -= 1;
+                self.line("}");
+            }
+        }
+    }
+
+    fn cond(&self, c: &Cond) -> String {
+        format!(
+            "{} {} {}",
+            self.operand(c.lhs),
+            c.op.symbol(),
+            self.operand(c.rhs)
+        )
+    }
+
+    fn operand(&self, o: Operand) -> String {
+        match o {
+            Operand::Var(v) => self.func.var(v).name.clone(),
+            Operand::Const(c) => c.to_string(),
+        }
+    }
+
+    fn memref(&self, m: MemRef) -> String {
+        let base = self.func.var(m.base()).name.clone();
+        let field = self.field_name(m);
+        match m {
+            MemRef::Deref { base: b, .. } => {
+                if self.func.deref_is_remote(b) {
+                    format!("{base}~>{field}")
+                } else {
+                    format!("{base}->{field}")
+                }
+            }
+            MemRef::Field { .. } => format!("{base}.{field}"),
+        }
+    }
+
+    fn field_name(&self, m: MemRef) -> String {
+        let base_ty = self.func.var(m.base()).ty;
+        match base_ty.struct_id() {
+            Some(sid) => self.prog.struct_def(sid).field(m.field()).name.clone(),
+            None => m.field().to_string(),
+        }
+    }
+
+    fn rvalue(&self, r: &Rvalue) -> String {
+        match r {
+            Rvalue::Use(o) => self.operand(*o),
+            Rvalue::Unary(op, a) => {
+                let sym = match op {
+                    crate::stmt::UnOp::Neg => "-",
+                    crate::stmt::UnOp::Not => "!",
+                };
+                format!("{sym}{}", self.operand(*a))
+            }
+            Rvalue::Binary(op, a, b) => format!(
+                "{} {} {}",
+                self.operand(*a),
+                op.symbol(),
+                self.operand(*b)
+            ),
+            Rvalue::Load(m) => self.memref(*m),
+            Rvalue::Malloc { struct_id, on } => match on {
+                Some(o) => format!(
+                    "malloc_on({}, sizeof({}))",
+                    self.operand(*o),
+                    struct_name(self.prog, *struct_id)
+                ),
+                None => format!("malloc(sizeof({}))", struct_name(self.prog, *struct_id)),
+            },
+            Rvalue::Builtin { builtin, args } => {
+                let args: Vec<String> = args.iter().map(|a| self.operand(*a)).collect();
+                format!("{}({})", builtin.name(), args.join(", "))
+            }
+            Rvalue::ValueOf(v) => format!("valueof(&{})", self.func.var(*v).name),
+        }
+    }
+
+    fn basic(&self, b: &Basic) -> String {
+        match b {
+            Basic::Assign { dst, src } => {
+                let d = match dst {
+                    Place::Var(v) => self.func.var(*v).name.clone(),
+                    Place::Mem(m) => self.memref(*m),
+                };
+                format!("{d} = {};", self.rvalue(src))
+            }
+            Basic::Call { dst, func, args, at } => {
+                let callee = self.prog.function(*func).name.clone();
+                let args_s: Vec<String> = args.iter().map(|a| self.operand(*a)).collect();
+                let at_s = match at {
+                    Some(AtTarget::OwnerOf(p)) => {
+                        format!(" @OWNER_OF({})", self.func.var(*p).name)
+                    }
+                    Some(AtTarget::Node(n)) => format!(" @{}", self.operand(*n)),
+                    None => String::new(),
+                };
+                match dst {
+                    Some(d) => format!(
+                        "{} = {callee}({}){at_s};",
+                        self.func.var(*d).name,
+                        args_s.join(", ")
+                    ),
+                    None => format!("{callee}({}){at_s};", args_s.join(", ")),
+                }
+            }
+            Basic::Return(op) => match op {
+                Some(o) => format!("return {};", self.operand(*o)),
+                None => "return;".into(),
+            },
+            Basic::BlkMov { dir, ptr, buf, range } => {
+                let p = self.func.var(*ptr).name.clone();
+                let b = self.func.var(*buf).name.clone();
+                let size = match range {
+                    Some((first, words)) => format!("{words} words @ {first}"),
+                    None => format!("sizeof(*{p})"),
+                };
+                match dir {
+                    BlkDir::RemoteToLocal => format!("blkmov({p}, &{b}, {size});"),
+                    BlkDir::LocalToRemote => format!("blkmov(&{b}, {p}, {size});"),
+                }
+            }
+            Basic::AtomicWrite { var, value } => format!(
+                "writeto(&{}, {});",
+                self.func.var(*var).name,
+                self.operand(*value)
+            ),
+            Basic::AtomicAdd { var, value } => format!(
+                "addto(&{}, {});",
+                self.func.var(*var).name,
+                self.operand(*value)
+            ),
+        }
+    }
+
+    /// A basic statement rendered without the trailing semicolon, for use in
+    /// `forall (...)` headers.
+    fn basic_expr_only(&self, b: &Basic) -> String {
+        let mut s = self.basic(b);
+        if s.ends_with(';') {
+            s.pop();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::stmt::BinOp;
+    use crate::types::{StructDef, Ty};
+    use crate::var::VarDecl;
+    use crate::Program;
+
+    fn sample() -> Program {
+        let mut prog = Program::new();
+        let mut point = StructDef::new("Point");
+        let fx = point.add_field("x", Ty::Double);
+        let pt = prog.add_struct(point);
+
+        let mut fb = FunctionBuilder::new("get_x", Some(Ty::Double));
+        let p = fb.param(VarDecl::new("p", Ty::Ptr(pt)));
+        let q = fb.param(VarDecl::local("q", Ty::Ptr(pt)));
+        let t = fb.var(VarDecl::new("t", Ty::Double));
+        fb.load_deref(t, p, fx);
+        fb.load_deref(t, q, fx);
+        fb.ret(Some(Operand::Var(t)));
+        prog.add_function(fb.finish());
+        prog
+    }
+
+    #[test]
+    fn remote_deref_marked() {
+        let prog = sample();
+        let s = print_program(&prog);
+        assert!(s.contains("p~>x"), "remote deref should use ~>: {s}");
+        assert!(s.contains("q->x"), "local deref should use ->: {s}");
+        assert!(s.contains("struct Point"));
+        assert!(s.contains("Point* local q"));
+    }
+
+    #[test]
+    fn labels_can_be_hidden() {
+        let prog = sample();
+        let id = prog.function_by_name("get_x").unwrap();
+        let with = print_function(&prog, id, &PrettyOptions::default());
+        let without = print_function(
+            &prog,
+            id,
+            &PrettyOptions {
+                show_labels: false,
+                ..Default::default()
+            },
+        );
+        assert!(with.contains("S1:"));
+        assert!(!without.contains("S1:"));
+    }
+
+    #[test]
+    fn control_flow_renders() {
+        let mut prog = Program::new();
+        let mut fb = FunctionBuilder::new("f", None);
+        let i = fb.var(VarDecl::new("i", Ty::Int));
+        fb.while_loop(
+            Cond::new(BinOp::Lt, Operand::Var(i), Operand::int(3)),
+            |b| {
+                b.if_then_else(
+                    Cond::new(BinOp::Eq, Operand::Var(i), Operand::int(0)),
+                    |b| b.assign(i, Operand::int(1)),
+                    |b| b.assign(i, Operand::int(2)),
+                );
+            },
+        );
+        fb.ret(None);
+        let id = prog.add_function(fb.finish());
+        let s = print_function_default(&prog, id);
+        assert!(s.contains("while (i < 3)"));
+        assert!(s.contains("} else {"));
+        assert!(s.contains("return;"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Type system of the SIMPLE IR.
+//!
+//! The IR is deliberately small: scalar `int` and `double`, pointers to
+//! struct types, and struct types themselves (used only for local block-move
+//! buffers and struct-typed variables). Nested struct fields from the source
+//! language are flattened by the frontend, so every field of an IR struct is
+//! a scalar or a pointer and occupies exactly one machine word. This mirrors
+//! the EARTH-MANNA view where `blkmov` cost is counted in words.
+
+use std::fmt;
+
+/// Identifies a struct type within a [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StructId(pub u32);
+
+/// Identifies a field within its [`StructDef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldId(pub u32);
+
+impl StructId {
+    /// Zero-based index into [`Program::structs`](crate::Program::structs).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FieldId {
+    /// Zero-based index into [`StructDef::fields`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StructId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "struct#{}", self.0)
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "field#{}", self.0)
+    }
+}
+
+/// A type in the SIMPLE IR.
+///
+/// Booleans are represented as `Int` (zero = false). Characters are not
+/// modelled; the Olden benchmarks reproduced here do not need them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer (one machine word).
+    Int,
+    /// 64-bit IEEE double (one machine word).
+    Double,
+    /// Pointer to a heap-allocated struct (one machine word).
+    Ptr(StructId),
+    /// A struct value held directly in a variable. Only used for local
+    /// block-move buffers (`bcomm` in the paper) and by-value struct locals.
+    Struct(StructId),
+}
+
+impl Ty {
+    /// Whether this is a pointer type.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+
+    /// Whether this is a struct value type.
+    pub fn is_struct(self) -> bool {
+        matches!(self, Ty::Struct(_))
+    }
+
+    /// The struct referred to by a pointer or struct type, if any.
+    pub fn struct_id(self) -> Option<StructId> {
+        match self {
+            Ty::Ptr(s) | Ty::Struct(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether a value of this type occupies exactly one machine word.
+    pub fn is_word(self) -> bool {
+        !self.is_struct()
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Double => write!(f, "double"),
+            Ty::Ptr(s) => write!(f, "{s}*"),
+            Ty::Struct(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A field of a struct type. Always one word wide (scalars and pointers
+/// only; the frontend flattens nested structs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDef {
+    /// Source-level name (possibly a flattened path such as `D_P`).
+    pub name: String,
+    /// Field type; never [`Ty::Struct`].
+    pub ty: Ty,
+}
+
+/// A struct type definition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StructDef {
+    /// Source-level struct name.
+    pub name: String,
+    /// Ordered fields; field order defines the memory layout used by
+    /// block moves.
+    pub fields: Vec<FieldDef>,
+}
+
+impl StructDef {
+    /// Creates an empty struct definition with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        StructDef {
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is a struct value type; fields must be one word wide.
+    pub fn add_field(&mut self, name: impl Into<String>, ty: Ty) -> FieldId {
+        assert!(!ty.is_struct(), "struct-typed fields must be flattened");
+        let id = FieldId(self.fields.len() as u32);
+        self.fields.push(FieldDef {
+            name: name.into(),
+            ty,
+        });
+        id
+    }
+
+    /// Looks a field up by name.
+    pub fn field_by_name(&self, name: &str) -> Option<FieldId> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FieldId(i as u32))
+    }
+
+    /// The field definition for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn field(&self, id: FieldId) -> &FieldDef {
+        &self.fields[id.index()]
+    }
+
+    /// Size of the struct in machine words (= number of flattened fields).
+    pub fn size_words(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_fields_round_trip() {
+        let mut s = StructDef::new("Point");
+        let x = s.add_field("x", Ty::Double);
+        let y = s.add_field("y", Ty::Double);
+        assert_eq!(s.field_by_name("x"), Some(x));
+        assert_eq!(s.field_by_name("y"), Some(y));
+        assert_eq!(s.field_by_name("z"), None);
+        assert_eq!(s.field(x).name, "x");
+        assert_eq!(s.size_words(), 2);
+    }
+
+    #[test]
+    fn ty_predicates() {
+        let p = Ty::Ptr(StructId(0));
+        assert!(p.is_ptr());
+        assert!(!p.is_struct());
+        assert!(p.is_word());
+        assert_eq!(p.struct_id(), Some(StructId(0)));
+        assert!(Ty::Struct(StructId(1)).is_struct());
+        assert!(!Ty::Struct(StructId(1)).is_word());
+        assert_eq!(Ty::Int.struct_id(), None);
+        assert!(Ty::Double.is_word());
+    }
+
+    #[test]
+    #[should_panic(expected = "flattened")]
+    fn struct_field_of_struct_type_panics() {
+        let mut s = StructDef::new("Bad");
+        s.add_field("inner", Ty::Struct(StructId(0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::Int.to_string(), "int");
+        assert_eq!(Ty::Ptr(StructId(3)).to_string(), "struct#3*");
+        assert_eq!(FieldId(2).to_string(), "field#2");
+    }
+}

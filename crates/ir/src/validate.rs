@@ -1,0 +1,467 @@
+//! Structural validation of SIMPLE IR programs.
+//!
+//! The validator enforces the invariants the analyses and the simulator rely
+//! on, most importantly the SIMPLE property that a basic statement carries
+//! **at most one** potentially-remote memory operation.
+
+use crate::func::{FuncId, Function, Program};
+use crate::stmt::{Basic, Cond, MemRef, Operand, Place, Rvalue, Stmt, StmtKind};
+use crate::types::Ty;
+use crate::var::VarId;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateError {
+    /// Function in which the problem was found, if any.
+    pub func: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in function `{name}`: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Validates a whole program.
+///
+/// # Errors
+///
+/// Returns the first violated invariant:
+/// * out-of-range variable / field / struct / function references,
+/// * duplicate statement labels within a function,
+/// * more than one pointer dereference in a basic statement,
+/// * struct-typed variables used where a scalar is required,
+/// * `Cond` operands that are not scalar variables or constants,
+/// * atomic operations applied to non-`shared` variables (or vice versa),
+/// * block moves whose buffer is not a local struct variable of the
+///   pointee's type.
+pub fn validate_program(prog: &Program) -> Result<(), ValidateError> {
+    for (id, f) in prog.iter_functions() {
+        validate_function(prog, id).map_err(|mut e| {
+            e.func = Some(f.name.clone());
+            e
+        })?;
+    }
+    Ok(())
+}
+
+/// Validates a single function.
+///
+/// # Errors
+///
+/// See [`validate_program`].
+pub fn validate_function(prog: &Program, id: FuncId) -> Result<(), ValidateError> {
+    let f = prog.function(id);
+    let mut v = Validator {
+        prog,
+        func: f,
+        seen_labels: HashSet::new(),
+    };
+    v.stmt(&f.body)
+}
+
+fn err(message: impl Into<String>) -> ValidateError {
+    ValidateError {
+        func: None,
+        message: message.into(),
+    }
+}
+
+struct Validator<'a> {
+    prog: &'a Program,
+    func: &'a Function,
+    seen_labels: HashSet<u32>,
+}
+
+impl Validator<'_> {
+    fn var_ty(&self, v: VarId) -> Result<Ty, ValidateError> {
+        if v.index() >= self.func.vars().len() {
+            return Err(err(format!("variable {v} out of range")));
+        }
+        Ok(self.func.var(v).ty)
+    }
+
+    fn check_operand(&self, o: Operand) -> Result<(), ValidateError> {
+        if let Operand::Var(v) = o {
+            let ty = self.var_ty(v)?;
+            if ty.is_struct() {
+                return Err(err(format!(
+                    "struct variable `{}` used as scalar operand",
+                    self.func.var(v).name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_memref(&self, m: MemRef) -> Result<(), ValidateError> {
+        let base_ty = self.var_ty(m.base())?;
+        let sid = match (m, base_ty) {
+            (MemRef::Deref { .. }, Ty::Ptr(s)) => s,
+            (MemRef::Field { .. }, Ty::Struct(s)) => s,
+            (MemRef::Deref { .. }, _) => {
+                return Err(err(format!(
+                    "`{}` dereferenced but is not a pointer",
+                    self.func.var(m.base()).name
+                )))
+            }
+            (MemRef::Field { .. }, _) => {
+                return Err(err(format!(
+                    "`.field` access on non-struct variable `{}`",
+                    self.func.var(m.base()).name
+                )))
+            }
+        };
+        if sid.index() >= self.prog.structs().len() {
+            return Err(err(format!("{sid} out of range")));
+        }
+        let def = self.prog.struct_def(sid);
+        if m.field().index() >= def.fields.len() {
+            return Err(err(format!(
+                "field {} out of range for struct `{}`",
+                m.field(),
+                def.name
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_cond(&self, c: &Cond) -> Result<(), ValidateError> {
+        if !c.op.is_comparison() {
+            return Err(err("loop/branch condition must be a comparison"));
+        }
+        self.check_operand(c.lhs)?;
+        self.check_operand(c.rhs)
+    }
+
+    fn count_derefs(b: &Basic) -> usize {
+        let mut n = 0;
+        if let Basic::Assign { dst, src } = b {
+            if matches!(dst, Place::Mem(MemRef::Deref { .. })) {
+                n += 1;
+            }
+            if matches!(src, Rvalue::Load(MemRef::Deref { .. })) {
+                n += 1;
+            }
+        }
+        if matches!(b, Basic::BlkMov { .. }) {
+            n += 1;
+        }
+        n
+    }
+
+    fn basic(&self, b: &Basic) -> Result<(), ValidateError> {
+        if Self::count_derefs(b) > 1 {
+            return Err(err(
+                "basic statement contains more than one potentially-remote operation",
+            ));
+        }
+        for o in b.operands() {
+            self.check_operand(o)?;
+        }
+        match b {
+            Basic::Assign { dst, src } => {
+                match dst {
+                    Place::Var(v) => {
+                        let ty = self.var_ty(*v)?;
+                        if ty.is_struct() && !matches!(src, Rvalue::Use(_)) {
+                            return Err(err(format!(
+                                "struct variable `{}` may only be block-moved or copied",
+                                self.func.var(*v).name
+                            )));
+                        }
+                    }
+                    Place::Mem(m) => self.check_memref(*m)?,
+                }
+                match src {
+                    Rvalue::Load(m) => self.check_memref(*m)?,
+                    Rvalue::Malloc { struct_id, .. }
+                        if struct_id.index() >= self.prog.structs().len() => {
+                            return Err(err(format!("{struct_id} out of range in malloc")));
+                        }
+                    Rvalue::Builtin { builtin, args }
+                        if args.len() != builtin.arity() => {
+                            return Err(err(format!(
+                                "builtin `{}` expects {} arguments, got {}",
+                                builtin.name(),
+                                builtin.arity(),
+                                args.len()
+                            )));
+                        }
+                    Rvalue::ValueOf(v) => {
+                        self.var_ty(*v)?;
+                        if !self.func.var(*v).shared {
+                            return Err(err(format!(
+                                "valueof on non-shared variable `{}`",
+                                self.func.var(*v).name
+                            )));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Basic::Call { dst, func, .. } => {
+                if func.index() >= self.prog.functions().len() {
+                    return Err(err(format!("{func} out of range in call")));
+                }
+                if let Some(d) = dst {
+                    self.var_ty(*d)?;
+                    let callee = self.prog.function(*func);
+                    if callee.ret_ty.is_none() {
+                        return Err(err(format!(
+                            "call to void function `{}` assigns a result",
+                            callee.name
+                        )));
+                    }
+                }
+            }
+            Basic::Return(_) => {}
+            Basic::BlkMov { ptr, buf, range, .. } => {
+                let pty = self.var_ty(*ptr)?;
+                let bty = self.var_ty(*buf)?;
+                let sid = match (pty, bty) {
+                    (Ty::Ptr(a), Ty::Struct(b)) if a == b => a,
+                    _ => {
+                        return Err(err(format!(
+                            "blkmov requires pointer `{}` and matching local struct buffer `{}`",
+                            self.func.var(*ptr).name,
+                            self.func.var(*buf).name
+                        )))
+                    }
+                };
+                if let Some((first, words)) = range {
+                    let size = self.prog.struct_def(sid).size_words() as u32;
+                    if *words == 0 || first + words > size {
+                        return Err(err(format!(
+                            "blkmov range [{first}, {first}+{words}) out of bounds for {size}-word struct"
+                        )));
+                    }
+                }
+            }
+            Basic::AtomicWrite { var, .. } | Basic::AtomicAdd { var, .. } => {
+                self.var_ty(*var)?;
+                if !self.func.var(*var).shared {
+                    return Err(err(format!(
+                        "atomic operation on non-shared variable `{}`",
+                        self.func.var(*var).name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), ValidateError> {
+        if !self.seen_labels.insert(s.label.0) {
+            return Err(err(format!("duplicate statement label {}", s.label)));
+        }
+        match &s.kind {
+            StmtKind::Seq(ss) | StmtKind::ParSeq(ss) => {
+                for c in ss {
+                    self.stmt(c)?;
+                }
+            }
+            StmtKind::Basic(b) => self.basic(b)?,
+            StmtKind::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                self.check_cond(cond)?;
+                self.stmt(then_s)?;
+                self.stmt(else_s)?;
+            }
+            StmtKind::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                self.check_operand(*scrut)?;
+                let mut vals = HashSet::new();
+                for (v, cs) in cases {
+                    if !vals.insert(*v) {
+                        return Err(err(format!("duplicate switch case {v}")));
+                    }
+                    self.stmt(cs)?;
+                }
+                self.stmt(default)?;
+            }
+            StmtKind::While { cond, body } => {
+                self.check_cond(cond)?;
+                self.stmt(body)?;
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.stmt(body)?;
+                self.check_cond(cond)?;
+            }
+            StmtKind::Forall {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if !matches!(init.kind, StmtKind::Basic(_)) || !matches!(step.kind, StmtKind::Basic(_))
+                {
+                    return Err(err("forall init/step must be basic statements"));
+                }
+                self.stmt(init)?;
+                self.check_cond(cond)?;
+                self.stmt(step)?;
+                self.stmt(body)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::stmt::{BinOp, BlkDir, Label};
+    use crate::types::{StructDef, StructId};
+    use crate::var::VarDecl;
+
+    fn point_program() -> (Program, StructId) {
+        let mut prog = Program::new();
+        let mut point = StructDef::new("Point");
+        point.add_field("x", Ty::Double);
+        point.add_field("y", Ty::Double);
+        let pt = prog.add_struct(point);
+        (prog, pt)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let (mut prog, pt) = point_program();
+        let mut fb = FunctionBuilder::new("f", Some(Ty::Double));
+        let p = fb.param(VarDecl::new("p", Ty::Ptr(pt)));
+        let t = fb.var(VarDecl::new("t", Ty::Double));
+        fb.load_deref(t, p, crate::types::FieldId(0));
+        fb.ret(Some(Operand::Var(t)));
+        prog.add_function(fb.finish());
+        validate_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn two_derefs_rejected() {
+        let (mut prog, pt) = point_program();
+        let mut f = Function::new("bad", None);
+        let p = f.add_param(VarDecl::new("p", Ty::Ptr(pt)));
+        let q = f.add_param(VarDecl::new("q", Ty::Ptr(pt)));
+        let l0 = f.fresh_label();
+        let l1 = f.fresh_label();
+        f.body = Stmt {
+            label: l0,
+            kind: StmtKind::Seq(vec![Stmt {
+                label: l1,
+                kind: StmtKind::Basic(Basic::Assign {
+                    dst: Place::Mem(MemRef::Deref {
+                        base: p,
+                        field: crate::types::FieldId(0),
+                    }),
+                    src: Rvalue::Load(MemRef::Deref {
+                        base: q,
+                        field: crate::types::FieldId(1),
+                    }),
+                }),
+            }]),
+        };
+        let id = prog.add_function(f);
+        let e = validate_function(&prog, id).unwrap_err();
+        assert!(e.message.contains("more than one"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let (mut prog, _) = point_program();
+        let mut f = Function::new("dup", None);
+        f.body = Stmt {
+            label: Label(1),
+            kind: StmtKind::Seq(vec![Stmt {
+                label: Label(1),
+                kind: StmtKind::Basic(Basic::Return(None)),
+            }]),
+        };
+        let id = prog.add_function(f);
+        assert!(validate_function(&prog, id).is_err());
+    }
+
+    #[test]
+    fn atomic_on_ordinary_var_rejected() {
+        let (mut prog, _) = point_program();
+        let mut fb = FunctionBuilder::new("f", None);
+        let c = fb.var(VarDecl::new("c", Ty::Int));
+        fb.atomic_add(c, Operand::int(1));
+        let id = prog.add_function(fb.finish());
+        let e = validate_function(&prog, id).unwrap_err();
+        assert!(e.message.contains("non-shared"));
+    }
+
+    #[test]
+    fn blkmov_type_mismatch_rejected() {
+        let (mut prog, pt) = point_program();
+        let mut fb = FunctionBuilder::new("f", None);
+        let p = fb.param(VarDecl::new("p", Ty::Ptr(pt)));
+        let buf = fb.var(VarDecl::new("buf", Ty::Int));
+        fb.blkmov(BlkDir::RemoteToLocal, p, buf);
+        let id = prog.add_function(fb.finish());
+        assert!(validate_function(&prog, id).is_err());
+    }
+
+    #[test]
+    fn valid_blkmov_passes() {
+        let (mut prog, pt) = point_program();
+        let mut fb = FunctionBuilder::new("f", None);
+        let p = fb.param(VarDecl::new("p", Ty::Ptr(pt)));
+        let buf = fb.var(VarDecl::new("bcomm1", Ty::Struct(pt)));
+        fb.blkmov(BlkDir::RemoteToLocal, p, buf);
+        fb.ret(None);
+        let id = prog.add_function(fb.finish());
+        validate_function(&prog, id).unwrap();
+    }
+
+    #[test]
+    fn cond_with_struct_var_rejected() {
+        let (mut prog, pt) = point_program();
+        let mut f = Function::new("f", None);
+        let s = f.add_var(VarDecl::new("s", Ty::Struct(pt)));
+        let l0 = f.fresh_label();
+        let l1 = f.fresh_label();
+        let l2 = f.fresh_label();
+        f.body = Stmt {
+            label: l0,
+            kind: StmtKind::Seq(vec![Stmt {
+                label: l1,
+                kind: StmtKind::While {
+                    cond: Cond::new(BinOp::Ne, Operand::Var(s), Operand::int(0)),
+                    body: Box::new(Stmt {
+                        label: l2,
+                        kind: StmtKind::Seq(vec![]),
+                    }),
+                },
+            }]),
+        };
+        let id = prog.add_function(f);
+        assert!(validate_function(&prog, id).is_err());
+    }
+
+    #[test]
+    fn error_display_includes_function() {
+        let e = ValidateError {
+            func: Some("foo".into()),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "in function `foo`: boom");
+    }
+}

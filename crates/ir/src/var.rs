@@ -1,0 +1,128 @@
+//! Variables and their EARTH-C qualifiers.
+
+use crate::types::Ty;
+use std::fmt;
+
+/// Identifies a variable (parameter, local, or compiler temporary) within
+/// its enclosing [`Function`](crate::Function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Zero-based index into the function's variable table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Locality of a pointer variable, as known to the compiler.
+///
+/// In EARTH-C, direct references to parameters and locals are always local,
+/// but an *indirect* reference `p->f` is a remote memory operation unless
+/// `p` is declared (or inferred by locality analysis) to be a `local`
+/// pointer. Non-pointer variables are always [`Locality::Local`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Locality {
+    /// Dereferences through this pointer are local memory accesses.
+    Local,
+    /// Dereferences through this pointer may touch remote memory and must be
+    /// compiled to EARTH split-phase operations.
+    #[default]
+    MaybeRemote,
+}
+
+/// How a variable was introduced; affects pretty-printing and lets the
+/// optimizer distinguish its own temporaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VarOrigin {
+    /// Written by the programmer.
+    #[default]
+    Source,
+    /// Introduced by the simplifier (`temp1`, `temp2`, ... in the paper).
+    SimplifyTemp,
+    /// Communication temporary introduced by communication selection
+    /// (`comm1`, `comm2`, ...).
+    CommTemp,
+    /// Local block-move buffer introduced by blocking (`bcomm1`, ...).
+    BlockBuffer,
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Source-level (or generated) name.
+    pub name: String,
+    /// The variable's type.
+    pub ty: Ty,
+    /// Locality qualifier; meaningful only for pointers.
+    pub locality: Locality,
+    /// Whether this is an EARTH-C `shared` variable (accessed via atomic
+    /// operations, visible to concurrently running threads).
+    pub shared: bool,
+    /// Provenance of the variable.
+    pub origin: VarOrigin,
+}
+
+impl VarDecl {
+    /// Declares an ordinary (non-shared) variable with default locality.
+    pub fn new(name: impl Into<String>, ty: Ty) -> Self {
+        VarDecl {
+            name: name.into(),
+            ty,
+            locality: Locality::default(),
+            shared: false,
+            origin: VarOrigin::Source,
+        }
+    }
+
+    /// Declares a `local`-qualified pointer.
+    pub fn local(name: impl Into<String>, ty: Ty) -> Self {
+        VarDecl {
+            locality: Locality::Local,
+            ..VarDecl::new(name, ty)
+        }
+    }
+
+    /// Declares a `shared` variable.
+    pub fn shared(name: impl Into<String>, ty: Ty) -> Self {
+        VarDecl {
+            shared: true,
+            ..VarDecl::new(name, ty)
+        }
+    }
+
+    /// Whether a dereference through this variable is a (potentially)
+    /// remote memory operation.
+    pub fn deref_is_remote(&self) -> bool {
+        self.ty.is_ptr() && self.locality == Locality::MaybeRemote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StructId;
+
+    #[test]
+    fn remote_deref_logic() {
+        let p = VarDecl::new("p", Ty::Ptr(StructId(0)));
+        assert!(p.deref_is_remote());
+        let q = VarDecl::local("q", Ty::Ptr(StructId(0)));
+        assert!(!q.deref_is_remote());
+        let i = VarDecl::new("i", Ty::Int);
+        assert!(!i.deref_is_remote());
+    }
+
+    #[test]
+    fn shared_flag() {
+        let c = VarDecl::shared("count", Ty::Int);
+        assert!(c.shared);
+        assert!(!c.deref_is_remote());
+    }
+}

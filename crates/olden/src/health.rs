@@ -1,0 +1,267 @@
+//! The Olden `health` benchmark: discrete-time simulation of the Colombian
+//! health-care system over a 4-way tree of villages.
+//!
+//! Each village has four child villages and a hospital with a bounded
+//! number of personnel. At every time step patients are generated at the
+//! villages, assessed, treated if personnel and capability allow, or passed
+//! up to the parent village. The tree is distributed so only the top-level
+//! children cross node boundaries (the paper: "the 4-way tree is evenly
+//! distributed among the processors and only top-level tree nodes have
+//! their children spread among different processors").
+//!
+//! The hot function `check_patients_inside` reproduces the paper's Figure
+//! 11(c): the repeated reads of `village->hosp.free_personnel` and the
+//! list-node fields are candidates for redundancy elimination and
+//! pipelining.
+
+/// EARTH-C source of the benchmark.
+pub const SOURCE: &str = r#"
+struct Hosp {
+    int free_personnel;
+    int num_treated;
+};
+
+struct Patient {
+    Patient* link;
+    int hosp_visits;
+    int time;
+    int time_left;
+};
+
+struct Cell {
+    Cell* forward;
+    Patient* patient;
+};
+
+struct Village {
+    Village* child0;
+    Village* child1;
+    Village* child2;
+    Village* child3;
+    Village* parent;
+    Cell* waiting;
+    Cell* inside;
+    Cell* up;
+    Hosp hosp;
+    int id;
+    int level;
+    int treated_total;
+};
+
+// Builds the subtree rooted at (level, id). For the top `spread` levels
+// the construction migrates to the child's home node, so each subtree —
+// villages, and later its patients and lists — is local to its owner
+// ("only top-level tree nodes have their children spread among different
+// processors").
+Village* build_village(int level, Village *parent, int id, int spread) {
+    Village *v;
+    if (level == 0) { return NULL; }
+    v = malloc(sizeof(Village));
+    v->parent = parent;
+    v->id = id;
+    v->level = level;
+    v->waiting = NULL;
+    v->inside = NULL;
+    v->up = NULL;
+    v->hosp.free_personnel = level * 2;
+    v->hosp.num_treated = 0;
+    v->treated_total = 0;
+    v->child0 = build_child(level - 1, v, id * 4 + 1, spread - 1);
+    v->child1 = build_child(level - 1, v, id * 4 + 2, spread - 1);
+    v->child2 = build_child(level - 1, v, id * 4 + 3, spread - 1);
+    v->child3 = build_child(level - 1, v, id * 4 + 4, spread - 1);
+    return v;
+}
+
+Village* build_child(int level, Village *parent, int id, int spread) {
+    int target;
+    if (level == 0) { return NULL; }
+    if (spread >= 0) {
+        target = id % num_nodes();
+        return build_village(level, parent, id, spread) @ target;
+    }
+    return build_village(level, parent, id, spread);
+}
+
+// Prepends patient p to list head, returning the new head.
+Cell* put_list(Cell *head, Patient *p) {
+    Cell *c;
+    c = malloc(sizeof(Cell));
+    c->forward = head;
+    c->patient = p;
+    return c;
+}
+
+// Removes the cell holding p from the list, returning the new head.
+Cell* remove_list(Cell *head, Patient *p) {
+    Cell *cur;
+    Cell *prev;
+    if (head == NULL) { return NULL; }
+    if (head->patient == p) { return head->forward; }
+    prev = head;
+    cur = head->forward;
+    while (cur != NULL) {
+        if (cur->patient == p) {
+            prev->forward = cur->forward;
+            return head;
+        }
+        prev = cur;
+        cur = cur->forward;
+    }
+    return head;
+}
+
+// Figure 11(c): hospital treatment step. Decrements each inside patient's
+// remaining time; discharges the finished ones, freeing personnel. The
+// repeated reads of village->hosp.free_personnel inside the loop are the
+// redundancy-elimination target the paper's extract shows (comm6).
+void check_patients_inside(Village *village) {
+    Cell *list;
+    Cell *fwd;
+    Patient *p;
+    int tl;
+    list = village->inside;
+    while (list != NULL) {
+        p = list->patient;
+        fwd = list->forward;
+        tl = p->time_left;
+        tl = tl - 1;
+        p->time_left = tl;
+        if (tl == 0) {
+            village->hosp.free_personnel = village->hosp.free_personnel + 1;
+            village->inside = remove_list(village->inside, p);
+            village->hosp.num_treated = village->hosp.num_treated + 1;
+            village->treated_total = village->treated_total + 1;
+        }
+        list = fwd;
+    }
+}
+
+// Assess the waiting patients: admit while personnel are free; patients
+// the village cannot treat are bumped to the parent. Written naively —
+// village->hosp.free_personnel and village->level are re-read every
+// iteration; the communication optimizer hoists and reuses them.
+void check_patients_waiting(Village *village) {
+    Cell *list;
+    Cell *fwd;
+    Patient *p;
+    list = village->waiting;
+    while (list != NULL) {
+        p = list->patient;
+        fwd = list->forward;
+        if (village->hosp.free_personnel > 0) {
+            // 10% of cases exceed this village's capability and are
+            // bumped to the parent (unless at the root).
+            if (p->hosp_visits % 10 == 9 && village->level < 9) {
+                village->waiting = remove_list(village->waiting, p);
+                village->up = put_list(village->up, p);
+            } else {
+                village->hosp.free_personnel = village->hosp.free_personnel - 1;
+                p->time_left = 3;
+                p->hosp_visits = p->hosp_visits + 1;
+                village->waiting = remove_list(village->waiting, p);
+                village->inside = put_list(village->inside, p);
+            }
+        }
+        list = fwd;
+    }
+}
+
+// Patients bumped up from child villages arrive in the parent's waiting
+// list.
+void collect_up(Village *village, Village *child) {
+    Cell *list;
+    Cell *fwd;
+    Patient *p;
+    if (child == NULL) { return; }
+    list = child->up;
+    while (list != NULL) {
+        fwd = list->forward;
+        p = list->patient;
+        village->waiting = put_list(village->waiting, p);
+        list = fwd;
+    }
+    child->up = NULL;
+}
+
+// One simulation step over the subtree; runs at the village's owner.
+void sim_step(Village local *village, int step) {
+    Village *c0;
+    Village *c1;
+    Village *c2;
+    Village *c3;
+    Patient *p;
+    int leaf;
+    c0 = village->child0;
+    c1 = village->child1;
+    c2 = village->child2;
+    c3 = village->child3;
+    leaf = 1;
+    if (c0 != NULL) {
+        leaf = 0;
+        {^
+            sim_step_at(c0, step);
+            sim_step_at(c1, step);
+            sim_step_at(c2, step);
+            sim_step_at(c3, step);
+        ^}
+        collect_up(village, c0);
+        collect_up(village, c1);
+        collect_up(village, c2);
+        collect_up(village, c3);
+    }
+    check_patients_inside(village);
+    check_patients_waiting(village);
+    if (leaf == 1) {
+        // Leaf villages admit a new patient every step (Olden's health
+        // keeps hospitals saturated; waiting lists grow when personnel
+        // run out).
+        p = malloc(sizeof(Patient));
+        p->hosp_visits = village->id + step;
+        p->time = 0;
+        p->time_left = 0;
+        p->link = NULL;
+        village->waiting = put_list(village->waiting, p);
+    }
+}
+
+void sim_step_at(Village *v, int step) {
+    if (v == NULL) { return; }
+    sim_step(v, step) @ OWNER_OF(v);
+}
+
+// Total patients treated over the whole tree.
+int total_treated(Village *v) {
+    int t;
+    if (v == NULL) { return 0; }
+    t = v->treated_total;
+    t = t + total_treated(v->child0);
+    t = t + total_treated(v->child1);
+    t = t + total_treated(v->child2);
+    t = t + total_treated(v->child3);
+    return t;
+}
+
+int main(int levels, int steps, int spread) {
+    Village *root;
+    int s;
+    int result;
+    root = build_village(levels, NULL, 0, spread);
+    for (s = 0; s < steps; s = s + 1) {
+        sim_step(root, s);
+    }
+    result = total_treated(root);
+    return result;
+}
+"#;
+
+/// Arguments for a preset size: `(levels, steps, spread-levels)`; the
+/// paper uses a 4-level tree and 600 iterations.
+pub fn args(preset: crate::Preset) -> Vec<earth_sim::Value> {
+    use earth_sim::Value::Int;
+    match preset {
+        crate::Preset::Test => vec![Int(2), Int(6), Int(1)],
+        crate::Preset::Small => vec![Int(3), Int(30), Int(2)],
+        crate::Preset::Full => vec![Int(4), Int(200), Int(2)],
+    }
+}

@@ -1,0 +1,243 @@
+//! The Olden `perimeter` benchmark: perimeter of a quad-tree-encoded
+//! raster image.
+//!
+//! A disk image over a `2^depth × 2^depth` grid is encoded as a quadtree
+//! (colors: white / black / grey). The perimeter pass walks the tree
+//! bottom-up; for each black leaf it finds the adjacent quadrants through
+//! parent pointers (`north`, `south`, `east`, `west` neighbor searches) and
+//! accumulates the exposed edge length — the `R_sum_adjacent` pattern of
+//! the paper's Figure 11(b), where the optimizer blocks the reads of a
+//! quad node's color and child pointers.
+//!
+//! The top two levels of the tree are spread round-robin across nodes;
+//! the four top-level quadrants are processed in a parallel sequence at
+//! their owners.
+
+/// Quadrant encoding: 0 = nw, 1 = ne, 2 = sw, 3 = se.
+/// Colors: 0 = white, 1 = black, 2 = grey.
+pub const SOURCE: &str = r#"
+struct Quad {
+    Quad* nw;
+    Quad* ne;
+    Quad* sw;
+    Quad* se;
+    Quad* parent;
+    int color;
+    int childtype;
+    int size;
+};
+
+// Does the square [x, x+sz) x [y, y+sz) lie fully inside / outside the
+// disk of radius r centered at (c, c)? 1 = inside, 0 = outside, 2 = both.
+int classify(int x, int y, int sz, int c, int r) {
+    int dx0; int dy0; int dx1; int dy1;
+    int far; int near;
+    int inside; int outside;
+    int corner;
+    // Distance^2 of the farthest and nearest corners from the center.
+    dx0 = x - c;
+    dx1 = x + sz - c;
+    dy0 = y - c;
+    dy1 = y + sz - c;
+    far = 0;
+    corner = dx0 * dx0 + dy0 * dy0;
+    if (corner > far) { far = corner; }
+    corner = dx1 * dx1 + dy0 * dy0;
+    if (corner > far) { far = corner; }
+    corner = dx0 * dx0 + dy1 * dy1;
+    if (corner > far) { far = corner; }
+    corner = dx1 * dx1 + dy1 * dy1;
+    if (corner > far) { far = corner; }
+    near = 0;
+    if (dx0 > 0) { near = near + dx0 * dx0; }
+    if (dx1 < 0) { near = near + dx1 * dx1; }
+    if (dy0 > 0) { near = near + dy0 * dy0; }
+    if (dy1 < 0) { near = near + dy1 * dy1; }
+    inside = 0;
+    outside = 0;
+    if (far <= r * r) { inside = 1; }
+    if (near > r * r) { outside = 1; }
+    if (inside == 1) { return 1; }
+    if (outside == 1) { return 0; }
+    return 2;
+}
+
+// Builds the quadtree with block distribution: the subtree owns the node
+// range [lo, lo+span); each quadrant gets a quarter of the range and the
+// construction migrates to the quadrant's home node, so whole subtrees
+// are local once span reaches 1.
+Quad* build(int x, int y, int sz, int c, int r, Quad *parent, int ct, int lo, int span) {
+    Quad *q;
+    int cls;
+    int half;
+    q = malloc(sizeof(Quad));
+    q->parent = parent;
+    q->childtype = ct;
+    q->size = sz;
+    q->nw = NULL;
+    q->ne = NULL;
+    q->sw = NULL;
+    q->se = NULL;
+    cls = classify(x, y, sz, c, r);
+    if (cls == 2 && sz > 1) {
+        half = sz / 2;
+        q->color = 2;
+        q->nw = build_at(x, y + half, half, c, r, q, 0, lo + (0 * span) / 4, span);
+        q->ne = build_at(x + half, y + half, half, c, r, q, 1, lo + (1 * span) / 4, span);
+        q->sw = build_at(x, y, half, c, r, q, 2, lo + (2 * span) / 4, span);
+        q->se = build_at(x + half, y, half, c, r, q, 3, lo + (3 * span) / 4, span);
+    } else {
+        if (cls == 2) {
+            // 1x1 mixed cell: treat as black.
+            q->color = 1;
+        } else {
+            q->color = cls;
+        }
+    }
+    return q;
+}
+
+Quad* build_at(int x, int y, int sz, int c, int r, Quad *parent, int ct, int lo, int span) {
+    int cspan;
+    cspan = span / 4;
+    if (cspan < 1) { cspan = 1; }
+    if (span > 1) {
+        return build(x, y, sz, c, r, parent, ct, lo, cspan) @ lo;
+    }
+    return build(x, y, sz, c, r, parent, ct, lo, 1);
+}
+
+// Neighbor of q in the given direction (0=N, 1=E, 2=S, 3=W), possibly a
+// larger (leaf) quadrant; NULL at the image border.
+Quad* neighbor(Quad *q, int dir) {
+    Quad *p;
+    Quad *m;
+    int ct;
+    p = q->parent;
+    if (p == NULL) { return NULL; }
+    ct = q->childtype;
+    if (dir == 0) {
+        if (ct == 2) { return p->nw; }
+        if (ct == 3) { return p->ne; }
+        m = neighbor(p, 0);
+        if (m == NULL) { return NULL; }
+        if (m->color != 2) { return m; }
+        if (ct == 0) { return m->sw; }
+        return m->se;
+    }
+    if (dir == 2) {
+        if (ct == 0) { return p->sw; }
+        if (ct == 1) { return p->se; }
+        m = neighbor(p, 2);
+        if (m == NULL) { return NULL; }
+        if (m->color != 2) { return m; }
+        if (ct == 2) { return m->nw; }
+        return m->ne;
+    }
+    if (dir == 1) {
+        if (ct == 0) { return p->ne; }
+        if (ct == 2) { return p->se; }
+        m = neighbor(p, 1);
+        if (m == NULL) { return NULL; }
+        if (m->color != 2) { return m; }
+        if (ct == 1) { return m->nw; }
+        return m->sw;
+    }
+    if (ct == 1) { return p->nw; }
+    if (ct == 3) { return p->sw; }
+    m = neighbor(p, 3);
+    if (m == NULL) { return NULL; }
+    if (m->color != 2) { return m; }
+    if (ct == 0) { return m->ne; }
+    return m->se;
+}
+
+// Sum of the border length contributed by the side `dir` of subtree `q`
+// against neighbouring quadrant `adj` (Figure 11(b)'s R_sum_adjacent,
+// specialised: count black cells of q's side facing a white/outside area).
+int sum_adjacent(Quad *adj, int q1, int q2, int size) {
+    Quad *p1;
+    Quad *p2;
+    int x;
+    int y;
+    if (adj == NULL) { return size; }
+    // Naive double read of the color field, exactly as in the paper's
+    // Figure 11(b) extract (temp_110 / temp_112 both load bcomm.color).
+    if (adj->color == 2) {
+        if (q1 == 0) { p1 = adj->nw; }
+        if (q1 == 1) { p1 = adj->ne; }
+        if (q1 == 2) { p1 = adj->sw; }
+        if (q1 == 3) { p1 = adj->se; }
+        if (q2 == 0) { p2 = adj->nw; }
+        if (q2 == 1) { p2 = adj->ne; }
+        if (q2 == 2) { p2 = adj->sw; }
+        if (q2 == 3) { p2 = adj->se; }
+        x = sum_adjacent(p1, q1, q2, size / 2);
+        y = sum_adjacent(p2, q1, q2, size / 2);
+        return x + y;
+    }
+    if (adj->color == 0) { return size; }
+    return 0;
+}
+
+int perimeter(Quad *q, int size) {
+    int total;
+    int a;
+    int b;
+    int c2;
+    int d;
+    Quad *m;
+    if (q->color == 2) {
+        {^
+            a = perimeter_at(q->nw, size / 2);
+            b = perimeter_at(q->ne, size / 2);
+            c2 = perimeter_at(q->sw, size / 2);
+            d = perimeter_at(q->se, size / 2);
+        ^}
+        return a + b + c2 + d;
+    }
+    if (q->color == 0) { return 0; }
+    total = 0;
+    // North side faces the sw/se quadrants of the north neighbor.
+    m = neighbor(q, 0);
+    total = total + sum_adjacent(m, 2, 3, size);
+    m = neighbor(q, 2);
+    total = total + sum_adjacent(m, 0, 1, size);
+    m = neighbor(q, 1);
+    total = total + sum_adjacent(m, 0, 2, size);
+    m = neighbor(q, 3);
+    total = total + sum_adjacent(m, 1, 3, size);
+    return total;
+}
+
+int perimeter_at(Quad *q, int size) {
+    if (q == NULL) { return 0; }
+    return perimeter(q, size) @ OWNER_OF(q);
+}
+
+int main(int depth) {
+    // depth parameter only; distribution follows num_nodes().
+    Quad *root;
+    int sz;
+    int res;
+    sz = 1;
+    while (depth > 0) {
+        sz = sz * 2;
+        depth = depth - 1;
+    }
+    root = build(0, 0, sz, sz / 2, sz / 2 - 1, NULL, 4, 0, num_nodes());
+    res = perimeter(root, sz);
+    return res;
+}
+"#;
+
+/// Arguments for a preset size: `(depth,)`; the paper uses maximum tree
+/// depth 11.
+pub fn args(preset: crate::Preset) -> Vec<earth_sim::Value> {
+    use earth_sim::Value::Int;
+    match preset {
+        crate::Preset::Test => vec![Int(4)],
+        crate::Preset::Small => vec![Int(6)],
+        crate::Preset::Full => vec![Int(9)],
+    }
+}

@@ -1,0 +1,280 @@
+//! The Olden `power` benchmark: power-system pricing optimization over a
+//! multi-level tree (root → feeders → laterals → branches → leaves).
+//!
+//! The paper (Table II) uses 10 000 leaves: 10 feeders × 20 laterals ×
+//! 5 branches × 10 leaves. Feeders are distributed round-robin across the
+//! nodes; each feeder's whole subtree lives on the feeder's node, and the
+//! per-feeder computation runs at the owner (`@OWNER_OF`). The per-node
+//! computation reads several fields of a tree node, computes, and writes
+//! results back — the pattern the paper's Figure 11(a) shows being
+//! *blocked* by the communication optimizer.
+
+/// EARTH-C source of the benchmark.
+pub const SOURCE: &str = r#"
+struct Leaf {
+    Leaf* next;
+    double pi_r;
+    double pi_i;
+    double w;
+    double theta;
+};
+
+struct Branch {
+    Branch* next;
+    Leaf* leaves;
+    double d_p;
+    double d_q;
+    double r;
+    double x;
+    double alpha;
+    double beta;
+};
+
+struct Lateral {
+    Lateral* next;
+    Branch* branches;
+    double d_p;
+    double d_q;
+    double r;
+    double x;
+    double alpha;
+    double beta;
+};
+
+struct Feeder {
+    Feeder* next;
+    Lateral* laterals;
+    double d_p;
+    double d_q;
+};
+
+struct Root {
+    Feeder* feeders;
+    double theta_r;
+    double theta_i;
+    double last_p;
+    double last_q;
+};
+
+Leaf* build_leaves(int n) {
+    Leaf *head;
+    Leaf *l;
+    int i;
+    head = NULL;
+    for (i = 0; i < n; i = i + 1) {
+        l = malloc(sizeof(Leaf));
+        l->next = head;
+        l->pi_r = 1.0;
+        l->pi_i = 1.0;
+        l->w = 1.0;
+        l->theta = 0.0;
+        head = l;
+    }
+    return head;
+}
+
+Branch* build_branches(int n, int leaves_per) {
+    Branch *head;
+    Branch *b;
+    int i;
+    head = NULL;
+    for (i = 0; i < n; i = i + 1) {
+        b = malloc(sizeof(Branch));
+        b->next = head;
+        b->leaves = build_leaves(leaves_per);
+        b->d_p = 0.0;
+        b->d_q = 0.0;
+        b->r = 0.0001;
+        b->x = 0.00002;
+        b->alpha = 0.0;
+        b->beta = 0.0;
+        head = b;
+    }
+    return head;
+}
+
+Lateral* build_lateral(int branches_per, int leaves_per) {
+    Lateral *l;
+    l = malloc(sizeof(Lateral));
+    l->next = NULL;
+    l->branches = build_branches(branches_per, leaves_per);
+    l->d_p = 0.0;
+    l->d_q = 0.0;
+    l->r = 0.000083;
+    l->x = 0.00003;
+    l->alpha = 0.0;
+    l->beta = 0.0;
+    return l;
+}
+
+Lateral* build_lateral_on(int node, int branches_per, int leaves_per) {
+    return build_lateral(branches_per, leaves_per) @ node;
+}
+
+// Laterals are distributed round-robin over the nodes; each lateral's
+// subtree (branches, leaves) is local to the lateral's node.
+Lateral* build_laterals(int n, int branches_per, int leaves_per, int base) {
+    Lateral *head;
+    Lateral *l;
+    int i;
+    head = NULL;
+    for (i = 0; i < n; i = i + 1) {
+        l = build_lateral_on((base + i) % num_nodes(), branches_per, leaves_per);
+        l->next = head;
+        head = l;
+    }
+    return head;
+}
+
+Feeder* build_feeder(int laterals, int branches_per, int leaves_per, int base) {
+    Feeder *f;
+    f = malloc(sizeof(Feeder));
+    f->next = NULL;
+    f->laterals = build_laterals(laterals, branches_per, leaves_per, base);
+    f->d_p = 0.0;
+    f->d_q = 0.0;
+    return f;
+}
+
+double compute_leaf(Leaf *l, double theta_r, double theta_i) {
+    double pr;
+    double pi;
+    double new_w;
+    pr = l->pi_r;
+    pi = l->pi_i;
+    new_w = 1.0 / sqrt(theta_r * pr + theta_i * pi + 0.25);
+    l->w = new_w;
+    l->theta = new_w * 0.5;
+    return new_w;
+}
+
+double compute_branch(Branch *br, double theta_r, double theta_i) {
+    Leaf *l;
+    double p;
+    double q;
+    double a;
+    double b;
+    double r;
+    double x;
+    p = 0.0;
+    q = 0.0;
+    l = br->leaves;
+    while (l != NULL) {
+        p = p + compute_leaf(l, theta_r, theta_i);
+        q = q + 0.5;
+        l = l->next;
+    }
+    r = br->r;
+    x = br->x;
+    a = r * r + x * x;
+    b = sqrt(a + p * p * 0.000001);
+    br->d_p = p + r * b;
+    br->d_q = q + x * b;
+    br->alpha = a / (b + 1.0);
+    br->beta = b / (a + 1.0);
+    return br->d_p + br->d_q;
+}
+
+double compute_lateral(Lateral local *lat, double theta_r, double theta_i) {
+    Branch *br;
+    double p;
+    double q;
+    double a;
+    double b;
+    double r;
+    double x;
+    p = 0.0;
+    q = 0.0;
+    br = lat->branches;
+    while (br != NULL) {
+        p = p + compute_branch(br, theta_r, theta_i);
+        q = q + 0.25;
+        br = br->next;
+    }
+    r = lat->r;
+    x = lat->x;
+    a = r * r + x * x;
+    b = sqrt(a + p * p * 0.000001);
+    lat->d_p = p + r * b;
+    lat->d_q = q + x * b;
+    lat->alpha = a / (b + 1.0);
+    lat->beta = b / (a + 1.0);
+    return lat->d_p + lat->d_q;
+}
+
+double compute_feeder(Feeder *f, double theta_r, double theta_i) {
+    Lateral *lat;
+    double p;
+    double dp;
+    // Each lateral computes at its owner node, in parallel.
+    forall (lat = f->laterals; lat != NULL; lat = lat->next) {
+        compute_lateral(lat, theta_r, theta_i) @ OWNER_OF(lat);
+    }
+    p = 0.0;
+    lat = f->laterals;
+    while (lat != NULL) {
+        dp = lat->d_p;
+        p = p + dp;
+        lat = lat->next;
+    }
+    f->d_p = p;
+    f->d_q = p * 0.5;
+    return p;
+}
+
+double main(int feeders, int laterals, int branches, int leaves, int iters) {
+    Root *root;
+    Feeder *f;
+    Feeder *fl;
+    int i;
+    int it;
+    double total;
+    double theta_r;
+    double theta_i;
+
+    root = malloc(sizeof(Root));
+    root->theta_r = 0.8;
+    root->theta_i = 0.16;
+    root->feeders = NULL;
+    // Feeder headers live on node 0; their laterals are spread
+    // round-robin so all nodes carry an equal share of the tree.
+    for (i = 0; i < feeders; i = i + 1) {
+        f = build_feeder(laterals, branches, leaves, i * laterals);
+        f->next = root->feeders;
+        root->feeders = f;
+    }
+
+    total = 0.0;
+    for (it = 0; it < iters; it = it + 1) {
+        theta_r = root->theta_r;
+        theta_i = root->theta_i;
+        // Parallel over feeders (each of which foralls over its
+        // laterals at their owner nodes).
+        forall (fl = root->feeders; fl != NULL; fl = fl->next) {
+            compute_feeder(fl, theta_r, theta_i);
+        }
+        // Gather demands and adjust prices.
+        total = 0.0;
+        fl = root->feeders;
+        while (fl != NULL) {
+            total = total + fl->d_p;
+            fl = fl->next;
+        }
+        root->last_p = total;
+        root->theta_r = root->theta_r - 0.00002 * (total - 10000.0);
+        root->theta_i = root->theta_i - 0.00001 * (total - 10000.0);
+    }
+    return total;
+}
+"#;
+
+/// Arguments for a preset size: `(feeders, laterals, branches, leaves,
+/// iterations)`; the paper's full size is 10 × 20 × 5 × 10 = 10 000 leaves.
+pub fn args(preset: crate::Preset) -> Vec<earth_sim::Value> {
+    use earth_sim::Value::Int;
+    match preset {
+        crate::Preset::Test => vec![Int(2), Int(2), Int(2), Int(3), Int(2)],
+        crate::Preset::Small => vec![Int(4), Int(5), Int(3), Int(5), Int(3)],
+        crate::Preset::Full => vec![Int(10), Int(20), Int(5), Int(10), Int(5)],
+    }
+}

@@ -1,0 +1,225 @@
+//! The Olden `tsp` benchmark: a sub-optimal traveling-salesperson tour via
+//! divide-and-conquer over a binary tree of cities (closest-point
+//! heuristic).
+//!
+//! Cities (random points) are stored in a balanced binary tree whose top
+//! levels are spread across the nodes. A tour for a subtree is built by
+//! solving the two halves in parallel (`{^ ... ^}` at the owners) and
+//! *merging*: the root city is spliced into the concatenation of the two
+//! sub-tours at the position that minimizes added tour length — the merge
+//! walks one tour while repeatedly reading coordinates of candidate cities,
+//! which is where the paper reports redundant-communication elimination and
+//! pipelining paying off.
+//!
+//! Tours are circular doubly-linked lists threaded through the tree nodes
+//! (`prev` / `tnext`), as in Olden.
+
+/// EARTH-C source of the benchmark.
+pub const SOURCE: &str = r#"
+struct City {
+    City* left;
+    City* right;
+    City* prev;
+    City* tnext;
+    double x;
+    double y;
+    int sz;
+};
+
+// Builds a balanced tree of n cities with *block* distribution: the
+// subtree gets the contiguous node range [lo, lo+span); each half of the
+// tree recursively gets half the range, so once span reaches 1 the whole
+// remaining subtree is local to one node and only the top log2(P) merges
+// cross node boundaries (the paper's "best data distribution strategy").
+City* build(int n, int lo, int span) {
+    City *c;
+    int nl;
+    int nr;
+    int lspan;
+    int rspan;
+    if (n == 0) { return NULL; }
+    c = malloc(sizeof(City));
+    c->x = (rand() % 100000);
+    c->y = (rand() % 100000);
+    c->x = c->x / 100.0;
+    c->y = c->y / 100.0;
+    c->sz = n;
+    c->prev = NULL;
+    c->tnext = NULL;
+    nl = (n - 1) / 2;
+    nr = n - 1 - nl;
+    if (span <= 1) {
+        lspan = 1;
+        rspan = 1;
+        if (nl > 0) { c->left = build(nl, lo, 1); } else { c->left = NULL; }
+        if (nr > 0) { c->right = build(nr, lo, 1); } else { c->right = NULL; }
+        return c;
+    }
+    lspan = (span + 1) / 2;
+    rspan = span - lspan;
+    if (nl > 0) {
+        c->left = build_at(nl, lo, lspan);
+    } else {
+        c->left = NULL;
+    }
+    if (nr > 0) {
+        c->right = build_at(nr, lo + lspan, rspan);
+    } else {
+        c->right = NULL;
+    }
+    return c;
+}
+
+City* build_at(int n, int lo, int span) {
+    return build(n, lo, span) @ lo;
+}
+
+double dist(double ax, double ay, double bx, double by) {
+    return sqrt((ax - bx) * (ax - bx) + (ay - by) * (ay - by));
+}
+
+// Splices city c into tour t (circular list) at the position after the
+// tour city minimizing the added length among the first few candidates
+// (the closest-point heuristic examines a bounded neighborhood, as in
+// Olden; the tour stays sub-optimal by construction); returns the head.
+City* splice(City *t, City *c) {
+    int scanned;
+    City *p;
+    City *best;
+    City *nxt;
+    double bestcost;
+    double cost;
+    double cx;
+    double cy;
+    double px;
+    double py;
+    double nx2;
+    double ny2;
+    int first;
+    if (t == NULL) {
+        c->tnext = c;
+        c->prev = c;
+        return c;
+    }
+    best = t;
+    bestcost = 0.0;
+    first = 1;
+    scanned = 0;
+    p = t;
+    do {
+        scanned = scanned + 1;
+        nxt = p->tnext;
+        // Written naively, as in Olden: the coordinate fields are re-read
+        // for every distance term; the communication optimizer merges the
+        // redundant reads and pipelines the rest.
+        cost = dist(p->x, p->y, c->x, c->y)
+             + dist(c->x, c->y, nxt->x, nxt->y)
+             - dist(p->x, p->y, nxt->x, nxt->y);
+        if (first == 1) {
+            bestcost = cost;
+            best = p;
+            first = 0;
+        } else {
+            if (cost < bestcost) {
+                bestcost = cost;
+                best = p;
+            }
+        }
+        p = p->tnext;
+    } while (p != t && scanned < 48);
+    nxt = best->tnext;
+    best->tnext = c;
+    c->prev = best;
+    c->tnext = nxt;
+    nxt->prev = c;
+    return t;
+}
+
+// Concatenates two circular tours (a and b non-NULL).
+City* conquer(City *a, City *b) {
+    City *alast;
+    City *blast;
+    if (a == NULL) { return b; }
+    if (b == NULL) { return a; }
+    alast = a->prev;
+    blast = b->prev;
+    alast->tnext = b;
+    b->prev = alast;
+    blast->tnext = a;
+    a->prev = blast;
+    return a;
+}
+
+// Builds a tour over the subtree rooted at c; returns the tour head.
+City* tsp(City *c) {
+    City *l;
+    City *r;
+    City *t;
+    int n;
+    if (c == NULL) { return NULL; }
+    n = c->sz;
+    if (n < 12) {
+        // Small subtree: solve sequentially.
+        t = tsp_seq(c);
+        return t;
+    }
+    {^
+        l = tsp_at(c->left);
+        r = tsp_at(c->right);
+    ^}
+    t = conquer(l, r);
+    t = splice(t, c);
+    return t;
+}
+
+City* tsp_seq(City *c) {
+    City *l;
+    City *r;
+    City *t;
+    if (c == NULL) { return NULL; }
+    l = tsp_seq(c->left);
+    r = tsp_seq(c->right);
+    t = conquer(l, r);
+    t = splice(t, c);
+    return t;
+}
+
+City* tsp_at(City *c) {
+    if (c == NULL) { return NULL; }
+    return tsp(c) @ OWNER_OF(c);
+}
+
+double tour_length(City *t) {
+    City *p;
+    double len;
+    City *nxt;
+    if (t == NULL) { return 0.0; }
+    len = 0.0;
+    p = t;
+    do {
+        nxt = p->tnext;
+        len = len + dist(p->x, p->y, nxt->x, nxt->y);
+        p = nxt;
+    } while (p != t);
+    return len;
+}
+
+double main(int n) {
+    City *root;
+    City *tour;
+    root = build(n, 0, num_nodes());
+    tour = tsp(root);
+    return tour_length(tour);
+}
+"#;
+
+/// Arguments for a preset size: `(cities,)`; the paper uses 32 768
+/// cities.
+pub fn args(preset: crate::Preset) -> Vec<earth_sim::Value> {
+    use earth_sim::Value::Int;
+    match preset {
+        crate::Preset::Test => vec![Int(64)],
+        crate::Preset::Small => vec![Int(256)],
+        crate::Preset::Full => vec![Int(2048)],
+    }
+}

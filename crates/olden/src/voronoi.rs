@@ -1,0 +1,263 @@
+//! The Olden `voronoi` benchmark — substituted workload.
+//!
+//! **Substitution note (see DESIGN.md):** Olden's `voronoi` computes a
+//! Voronoi diagram with the Guibas–Stolfi quad-edge divide-and-conquer.
+//! Reproducing the full quad-edge algebra adds a large amount of geometry
+//! code without adding new *communication* behaviour; what matters for the
+//! paper's evaluation is the access pattern of the merge phase: points in
+//! a binary tree distributed across nodes, recursive divide-and-conquer
+//! with parallel halves, and a merge that "walks along the convex hull of
+//! the two sub-diagrams, alternating between them in an irregular fashion".
+//!
+//! We therefore implement divide-and-conquer planar convex hull over the
+//! same data organization: random points in a binary tree (top levels
+//! spread across nodes), hulls as circular linked lists, and a merge that
+//! walks both sub-hulls alternately to find the two tangents — the same
+//! irregular alternating remote-read pattern, which redundancy elimination
+//! and blocking accelerate, as the paper reports for voronoi.
+
+/// EARTH-C source of the benchmark.
+pub const SOURCE: &str = r#"
+struct Pt {
+    Pt* left;
+    Pt* right;
+    Pt* hnext;
+    Pt* hprev;
+    double x;
+    double y;
+    int sz;
+};
+
+// Builds a balanced binary tree of n random points, sorted by x by
+// construction: the tree is built over an implicit x-interval. Block
+// distribution: the subtree owns the contiguous node range [lo, lo+span);
+// once span reaches 1 the remaining subtree is entirely local.
+Pt* build(int n, double x0, double x1, int lo, int span) {
+    Pt *p;
+    int nl;
+    int nr;
+    int lspan;
+    int rspan;
+    double xm;
+    double jitter;
+    if (n == 0) { return NULL; }
+    p = malloc(sizeof(Pt));
+    xm = (x0 + x1) / 2.0;
+    jitter = (rand() % 1000);
+    p->x = xm;
+    p->y = jitter / 10.0;
+    p->sz = n;
+    p->hnext = NULL;
+    p->hprev = NULL;
+    nl = (n - 1) / 2;
+    nr = n - 1 - nl;
+    if (span <= 1) {
+        if (nl > 0) { p->left = build(nl, x0, xm, lo, 1); } else { p->left = NULL; }
+        if (nr > 0) { p->right = build(nr, xm, x1, lo, 1); } else { p->right = NULL; }
+        return p;
+    }
+    lspan = (span + 1) / 2;
+    rspan = span - lspan;
+    if (nl > 0) {
+        p->left = build_at(nl, x0, xm, lo, lspan);
+    } else {
+        p->left = NULL;
+    }
+    if (nr > 0) {
+        p->right = build_at(nr, xm, x1, lo + lspan, rspan);
+    } else {
+        p->right = NULL;
+    }
+    return p;
+}
+
+Pt* build_at(int n, double x0, double x1, int lo, int span) {
+    return build(n, x0, x1, lo, span) @ lo;
+}
+
+// Cross product (b - a) x (c - a): > 0 means c is left of a->b.
+double cross(double ax, double ay, double bx, double by, double cx, double cy) {
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+// Inserts point p into the circular hull list after q.
+void link_after(Pt *q, Pt *p) {
+    Pt *n;
+    n = q->hnext;
+    q->hnext = p;
+    p->hprev = q;
+    p->hnext = n;
+    n->hprev = p;
+}
+
+// The rightmost point of hull h (hulls keep their head at the leftmost
+// point; walk to find the rightmost).
+Pt* rightmost(Pt *h) {
+    Pt *p;
+    Pt *best;
+    best = h;
+    p = h->hnext;
+    while (p != h) {
+        // Naive: best->x is re-read every iteration; the optimizer reuses
+        // the already-fetched value until `best` changes.
+        if (p->x > best->x) {
+            best = p;
+        }
+        p = p->hnext;
+    }
+    return best;
+}
+
+// Merge phase: walks the right side of hull a and the left side of hull
+// b, alternating, to find the upper tangent (and by symmetry the lower),
+// then splices the hulls. Simplified tangent walk over circular lists.
+Pt* merge_hulls(Pt *a, Pt *b) {
+    Pt *ra;
+    Pt *lb;
+    Pt *u1;
+    Pt *u2;
+    Pt *l1;
+    Pt *l2;
+    Pt *cand;
+    int moved;
+    int guard;
+    double c;
+    if (a == NULL) { return b; }
+    if (b == NULL) { return a; }
+    ra = rightmost(a);
+    lb = b;
+    // Upper tangent: move u1 backwards on a, u2 forwards on b while a
+    // point lies above the tangent line.
+    u1 = ra;
+    u2 = lb;
+    moved = 1;
+    guard = 0;
+    while (moved == 1 && guard < 10000) {
+        moved = 0;
+        guard = guard + 1;
+        // Naive, as in Olden's merge walk: each tangent test re-reads the
+        // endpoint coordinates; redundancy elimination fetches them once
+        // per step.
+        cand = u1->hprev;
+        c = cross(u1->x, u1->y, u2->x, u2->y, cand->x, cand->y);
+        if (c > 0.0) {
+            u1 = cand;
+            moved = 1;
+        }
+        cand = u2->hnext;
+        c = cross(u1->x, u1->y, u2->x, u2->y, cand->x, cand->y);
+        if (c > 0.0) {
+            u2 = cand;
+            moved = 1;
+        }
+    }
+    // Lower tangent: symmetric.
+    l1 = ra;
+    l2 = lb;
+    moved = 1;
+    guard = 0;
+    while (moved == 1 && guard < 10000) {
+        moved = 0;
+        guard = guard + 1;
+        cand = l1->hnext;
+        c = cross(l1->x, l1->y, l2->x, l2->y, cand->x, cand->y);
+        if (c < 0.0) {
+            l1 = cand;
+            moved = 1;
+        }
+        cand = l2->hprev;
+        c = cross(l1->x, l1->y, l2->x, l2->y, cand->x, cand->y);
+        if (c < 0.0) {
+            l2 = cand;
+            moved = 1;
+        }
+    }
+    // Splice: a-side from l1 around to u1, then b-side from u2 around to
+    // l2, closing the loop.
+    u1->hnext = u2;
+    u2->hprev = u1;
+    l2->hnext = l1;
+    l1->hprev = l2;
+    return a;
+}
+
+// Computes the hull of the subtree rooted at t (divide and conquer; the
+// two halves run in parallel at their owners).
+Pt* hull(Pt *t) {
+    Pt *l;
+    Pt *r;
+    Pt *m;
+    int n;
+    if (t == NULL) { return NULL; }
+    n = t->sz;
+    if (n < 32) {
+        return hull_seq(t);
+    }
+    {^
+        l = hull_at(t->left);
+        r = hull_at(t->right);
+    ^}
+    t->hnext = t;
+    t->hprev = t;
+    m = merge_hulls(l, t);
+    m = merge_hulls(m, r);
+    return m;
+}
+
+Pt* hull_seq(Pt *t) {
+    Pt *l;
+    Pt *r;
+    Pt *m;
+    if (t == NULL) { return NULL; }
+    l = hull_seq(t->left);
+    r = hull_seq(t->right);
+    t->hnext = t;
+    t->hprev = t;
+    m = merge_hulls(l, t);
+    m = merge_hulls(m, r);
+    return m;
+}
+
+Pt* hull_at(Pt *t) {
+    if (t == NULL) { return NULL; }
+    return hull(t) @ OWNER_OF(t);
+}
+
+// Hull size and perimeter as the checkable result.
+double main(int n) {
+    Pt *root;
+    Pt *h;
+    Pt *p;
+    Pt *nx2;
+    double len;
+    double dx;
+    double dy;
+    int count;
+    root = build(n, 0.0, 1000.0, 0, num_nodes());
+    h = hull(root);
+    if (h == NULL) { return 0.0; }
+    len = 0.0;
+    count = 0;
+    p = h;
+    do {
+        nx2 = p->hnext;
+        dx = p->x - nx2->x;
+        dy = p->y - nx2->y;
+        len = len + sqrt(dx * dx + dy * dy);
+        count = count + 1;
+        p = nx2;
+    } while (p != h && count < n + 2);
+    return len + count;
+}
+"#;
+
+/// Arguments for a preset size: `(points,)`; the paper uses 32 768
+/// points.
+pub fn args(preset: crate::Preset) -> Vec<earth_sim::Value> {
+    use earth_sim::Value::Int;
+    match preset {
+        crate::Preset::Test => vec![Int(64)],
+        crate::Preset::Small => vec![Int(512)],
+        crate::Preset::Full => vec![Int(4096)],
+    }
+}

@@ -1,0 +1,172 @@
+//! Threaded bytecode — the simulator's analogue of the EARTH-McCAT
+//! compiler's Phase III output (Threaded-C).
+//!
+//! Functions are flat instruction sequences over a frame of value slots.
+//! Scalar variables occupy one slot; struct-typed variables (block-move
+//! buffers) occupy a contiguous range of slots, one per word, so buffer
+//! field accesses compile to plain register moves.
+
+use crate::value::Value;
+use earth_ir::{BinOp, FuncId, UnOp};
+
+/// A frame slot index.
+pub type Slot = u32;
+
+/// A bytecode program counter.
+pub type Pc = u32;
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Opnd {
+    /// Read a frame slot.
+    Slot(Slot),
+    /// An immediate value.
+    Imm(Value),
+}
+
+/// Where a call executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CallAt {
+    /// On the current node (an ordinary call).
+    Local,
+    /// On the node owning the object the pointer slot points to.
+    OwnerOf(Slot),
+    /// On an explicit node id.
+    Node(Opnd),
+}
+
+/// A threaded bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // operand fields are described on the variants
+pub enum Op {
+    /// `dst = src`
+    Mov { dst: Slot, src: Opnd },
+    /// `dst = a <op> b`
+    Bin {
+        dst: Slot,
+        op: BinOp,
+        a: Opnd,
+        b: Opnd,
+    },
+    /// `dst = <op> a`
+    Un { dst: Slot, op: UnOp, a: Opnd },
+    /// Local pointer dereference read; aborts if the address is remote
+    /// (validates locality analysis).
+    LoadLocal { dst: Slot, ptr: Slot, field: u32 },
+    /// Split-phase remote read: issues and continues; `dst` becomes ready
+    /// after the read latency.
+    LoadRemote { dst: Slot, ptr: Slot, field: u32 },
+    /// Local pointer dereference write.
+    StoreLocal { ptr: Slot, field: u32, src: Opnd },
+    /// Split-phase remote write (fire-and-forget; `fence` observes
+    /// completion).
+    StoreRemote { ptr: Slot, field: u32, src: Opnd },
+    /// Remote block read of `words` words starting at field `off` into
+    /// slots `buf+off .. buf+off+words`.
+    BlkRead {
+        ptr: Slot,
+        buf: Slot,
+        off: u32,
+        words: u32,
+    },
+    /// Remote block write of slots `buf+off .. buf+off+words` to fields
+    /// `off ..` of `*ptr`.
+    BlkWrite {
+        ptr: Slot,
+        buf: Slot,
+        off: u32,
+        words: u32,
+    },
+    /// Struct-variable copy: `dst..dst+words = src..src+words`.
+    CopySlots { dst: Slot, src: Slot, words: u32 },
+    /// Heap allocation of `words` words on `node` (`None` = current node).
+    Malloc {
+        dst: Slot,
+        words: u32,
+        node: Option<Opnd>,
+    },
+    /// Allocate a shared-variable cell on the current node, storing its
+    /// address in `dst` (runs at function entry).
+    AllocShared { dst: Slot },
+    /// Atomic store to the shared cell pointed to by `cell`.
+    AtomicWrite { cell: Slot, src: Opnd },
+    /// Atomic add to the shared cell pointed to by `cell`.
+    AtomicAdd { cell: Slot, src: Opnd },
+    /// Atomic read of the shared cell pointed to by `cell`.
+    ValueOf { dst: Slot, cell: Slot },
+    /// Function call.
+    Call {
+        dst: Option<Slot>,
+        func: FuncId,
+        args: Vec<Opnd>,
+        at: CallAt,
+    },
+    /// Built-in invocation.
+    Builtin {
+        dst: Slot,
+        which: earth_ir::Builtin,
+        args: Vec<Opnd>,
+    },
+    /// Return from the current function.
+    Ret { val: Option<Opnd> },
+    /// Unconditional jump.
+    Jmp(Pc),
+    /// Conditional branch: jump to `then_pc` when `a <op> b`, else
+    /// `else_pc`.
+    Br {
+        op: BinOp,
+        a: Opnd,
+        b: Opnd,
+        then_pc: Pc,
+        else_pc: Pc,
+    },
+    /// Multi-way dispatch.
+    Switch {
+        scrut: Opnd,
+        table: Vec<(i64, Pc)>,
+        default_pc: Pc,
+    },
+    /// Spawn the arms of a parallel sequence, sharing this frame; resume
+    /// at `cont` once every arm has finished.
+    Fork { arms: Vec<Pc>, cont: Pc },
+    /// Spawn one forall iteration at `body` with a *copy* of the current
+    /// frame; increments the thread's outstanding-iteration counter.
+    SpawnIter { body: Pc },
+    /// Wait until all outstanding forall iterations have finished.
+    JoinIters,
+    /// Terminate a parallel arm / forall iteration thread.
+    EndArm,
+}
+
+/// A compiled function.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// Source-level name.
+    pub name: String,
+    /// Instructions; entry point is pc 0.
+    pub ops: Vec<Op>,
+    /// Total frame slots.
+    pub n_slots: u32,
+    /// Slots receiving the arguments, in order.
+    pub param_slots: Vec<Slot>,
+}
+
+/// A compiled program, indexed by [`FuncId`].
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Compiled functions, parallel to the IR program's function table.
+    pub functions: Vec<CompiledFunction>,
+    /// Struct sizes in words, parallel to the IR struct table (used by
+    /// `malloc` and block moves).
+    pub struct_words: Vec<u32>,
+}
+
+impl CompiledProgram {
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+}

@@ -1,0 +1,739 @@
+//! Lowering from SIMPLE IR to threaded bytecode (the simulator's Phase
+//! III: thread generation + code generation).
+
+use crate::bytecode::{CallAt, CompiledFunction, CompiledProgram, Op, Opnd, Pc, Slot};
+use crate::value::Value;
+use earth_ir::{
+    AtTarget, Basic, Cond, Const, Function, MemRef, Operand, Place, Program,
+    Rvalue, Stmt, StmtKind, Ty,
+};
+use std::fmt;
+
+/// Code generation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodegenOptions {
+    /// Compile every memory access as a local access — the "pure
+    /// sequential C" build used for the paper's Sequential column. Only
+    /// meaningful for single-node runs of programs without parallel
+    /// constructs spanning nodes.
+    pub force_local: bool,
+}
+
+/// A code generation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodegenError {
+    /// The function being compiled.
+    pub func: String,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codegen error in `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Compiles a whole program.
+///
+/// # Errors
+///
+/// Returns an error for constructs the threaded backend cannot express:
+/// `return` inside a parallel arm or forall body, struct-typed parameters,
+/// or non-scalar stores that cannot be scratch-materialized.
+pub fn compile_program(
+    prog: &Program,
+    opts: CodegenOptions,
+) -> Result<CompiledProgram, CodegenError> {
+    let struct_words = prog
+        .structs()
+        .iter()
+        .map(|s| s.size_words() as u32)
+        .collect();
+    let mut functions = Vec::with_capacity(prog.functions().len());
+    for (_, f) in prog.iter_functions() {
+        functions.push(compile_function(prog, f, opts)?);
+    }
+    Ok(CompiledProgram {
+        functions,
+        struct_words,
+    })
+}
+
+struct FnCg<'a> {
+    prog: &'a Program,
+    func: &'a Function,
+    opts: CodegenOptions,
+    ops: Vec<Op>,
+    /// Base slot of each variable.
+    slot_of: Vec<Slot>,
+    /// One scratch slot for materializing store sources.
+    scratch: Slot,
+    n_slots: u32,
+    /// Nesting depth of parallel arms / forall bodies (returns forbidden
+    /// inside).
+    par_depth: u32,
+}
+
+fn compile_function(
+    prog: &Program,
+    func: &Function,
+    opts: CodegenOptions,
+) -> Result<CompiledFunction, CodegenError> {
+    let err = |m: String| CodegenError {
+        func: func.name.clone(),
+        message: m,
+    };
+    // Slot layout.
+    let mut slot_of = Vec::with_capacity(func.vars().len());
+    let mut next: Slot = 0;
+    for (_, d) in func.iter_vars() {
+        slot_of.push(next);
+        next += match d.ty {
+            Ty::Struct(sid) => prog.struct_def(sid).size_words() as u32,
+            _ => 1,
+        };
+    }
+    let scratch = next;
+    next += 1;
+    for &p in &func.params {
+        if func.var(p).ty.is_struct() {
+            return Err(err(format!(
+                "struct-typed parameter `{}` is not supported",
+                func.var(p).name
+            )));
+        }
+    }
+
+    let mut cg = FnCg {
+        prog,
+        func,
+        opts,
+        ops: Vec::new(),
+        slot_of,
+        scratch,
+        n_slots: next,
+        par_depth: 0,
+    };
+    // Shared variables get their cells at entry.
+    for (v, d) in func.iter_vars() {
+        if d.shared {
+            let dst = cg.slot_of[v.index()];
+            cg.ops.push(Op::AllocShared { dst });
+        }
+    }
+    cg.stmt(&func.body)?;
+    // Implicit return for void functions falling off the end.
+    cg.ops.push(Op::Ret { val: None });
+    Ok(CompiledFunction {
+        name: func.name.clone(),
+        ops: cg.ops,
+        n_slots: cg.n_slots,
+        param_slots: func
+            .params
+            .iter()
+            .map(|p| cg.slot_of[p.index()])
+            .collect(),
+    })
+}
+
+impl FnCg<'_> {
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, CodegenError> {
+        Err(CodegenError {
+            func: self.func.name.clone(),
+            message: m.into(),
+        })
+    }
+
+    fn slot(&self, v: earth_ir::VarId) -> Slot {
+        self.slot_of[v.index()]
+    }
+
+    fn opnd(&self, o: Operand) -> Opnd {
+        match o {
+            Operand::Var(v) => Opnd::Slot(self.slot(v)),
+            Operand::Const(Const::Int(i)) => Opnd::Imm(Value::Int(i)),
+            Operand::Const(Const::Double(d)) => Opnd::Imm(Value::Double(d)),
+            Operand::Const(Const::Null) => Opnd::Imm(Value::Null),
+        }
+    }
+
+    fn here(&self) -> Pc {
+        self.ops.len() as Pc
+    }
+
+    fn emit(&mut self, op: Op) -> Pc {
+        let pc = self.here();
+        self.ops.push(op);
+        pc
+    }
+
+    fn patch_jmp(&mut self, at: Pc, target: Pc) {
+        match &mut self.ops[at as usize] {
+            Op::Jmp(t) => *t = target,
+            other => unreachable!("patch_jmp on {other:?}"),
+        }
+    }
+
+    fn is_remote(&self, base: earth_ir::VarId) -> bool {
+        !self.opts.force_local && self.func.deref_is_remote(base)
+    }
+
+    fn words_of_ptr(&self, base: earth_ir::VarId) -> u32 {
+        let sid = self
+            .func
+            .var(base)
+            .ty
+            .struct_id()
+            .expect("deref base is a struct pointer");
+        self.prog.struct_def(sid).size_words() as u32
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CodegenError> {
+        match &s.kind {
+            StmtKind::Seq(ss) => {
+                for c in ss {
+                    self.stmt(c)?;
+                }
+                Ok(())
+            }
+            StmtKind::Basic(b) => self.basic(b),
+            StmtKind::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let br = self.emit_branch_placeholder(cond);
+                let then_pc = self.here();
+                self.stmt(then_s)?;
+                let jmp_end = self.emit(Op::Jmp(Pc::MAX));
+                let else_pc = self.here();
+                self.stmt(else_s)?;
+                let end = self.here();
+                self.patch_branch(br, then_pc, else_pc);
+                self.patch_jmp(jmp_end, end);
+                Ok(())
+            }
+            StmtKind::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                let sw_at = self.emit(Op::Switch {
+                    scrut: self.opnd(*scrut),
+                    table: Vec::new(),
+                    default_pc: Pc::MAX,
+                });
+                let mut table = Vec::new();
+                let mut end_jumps = Vec::new();
+                for (v, body) in cases {
+                    table.push((*v, self.here()));
+                    self.stmt(body)?;
+                    end_jumps.push(self.emit(Op::Jmp(Pc::MAX)));
+                }
+                let default_pc = self.here();
+                self.stmt(default)?;
+                let end = self.here();
+                for j in end_jumps {
+                    self.patch_jmp(j, end);
+                }
+                match &mut self.ops[sw_at as usize] {
+                    Op::Switch {
+                        table: t,
+                        default_pc: d,
+                        ..
+                    } => {
+                        *t = table;
+                        *d = default_pc;
+                    }
+                    _ => unreachable!(),
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let top = self.here();
+                let br = self.emit_branch_placeholder(cond);
+                let body_pc = self.here();
+                self.stmt(body)?;
+                self.emit(Op::Jmp(top));
+                let end = self.here();
+                self.patch_branch(br, body_pc, end);
+                Ok(())
+            }
+            StmtKind::DoWhile { body, cond } => {
+                let top = self.here();
+                self.stmt(body)?;
+                let br = self.emit_branch_placeholder(cond);
+                let end = self.here();
+                self.patch_branch(br, top, end);
+                Ok(())
+            }
+            StmtKind::ParSeq(arms) => {
+                self.par_depth += 1;
+                let fork_at = self.emit(Op::Fork {
+                    arms: Vec::new(),
+                    cont: Pc::MAX,
+                });
+                let mut arm_pcs = Vec::new();
+                for arm in arms {
+                    arm_pcs.push(self.here());
+                    self.stmt(arm)?;
+                    self.emit(Op::EndArm);
+                }
+                let cont = self.here();
+                match &mut self.ops[fork_at as usize] {
+                    Op::Fork { arms: a, cont: c } => {
+                        *a = arm_pcs;
+                        *c = cont;
+                    }
+                    _ => unreachable!(),
+                }
+                self.par_depth -= 1;
+                Ok(())
+            }
+            StmtKind::Forall {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.stmt(init)?;
+                let top = self.here();
+                let br = self.emit_branch_placeholder(cond);
+                let spawn_pc = self.emit(Op::SpawnIter { body: Pc::MAX });
+                self.stmt(step)?;
+                self.emit(Op::Jmp(top));
+                // Iteration body.
+                self.par_depth += 1;
+                let body_pc = self.here();
+                self.stmt(body)?;
+                self.emit(Op::EndArm);
+                self.par_depth -= 1;
+                let join_pc = self.emit(Op::JoinIters);
+                let _ = join_pc;
+                let end = self.here();
+                let _ = end;
+                // Patch: loop exit goes to JoinIters (which falls through).
+                self.patch_branch(br, spawn_pc, join_pc);
+                match &mut self.ops[spawn_pc as usize] {
+                    Op::SpawnIter { body } => *body = body_pc,
+                    _ => unreachable!(),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_branch_placeholder(&mut self, cond: &Cond) -> Pc {
+        let op = Op::Br {
+            op: cond.op,
+            a: self.opnd(cond.lhs),
+            b: self.opnd(cond.rhs),
+            then_pc: Pc::MAX,
+            else_pc: Pc::MAX,
+        };
+        self.emit(op)
+    }
+
+    fn patch_branch(&mut self, at: Pc, then_pc: Pc, else_pc: Pc) {
+        match &mut self.ops[at as usize] {
+            Op::Br {
+                then_pc: t,
+                else_pc: e,
+                ..
+            } => {
+                *t = then_pc;
+                *e = else_pc;
+            }
+            other => unreachable!("patch_branch on {other:?}"),
+        }
+    }
+
+    // ---- basic statements ----------------------------------------------
+
+    fn basic(&mut self, b: &Basic) -> Result<(), CodegenError> {
+        match b {
+            Basic::Assign { dst, src } => self.assign(dst, src),
+            Basic::Call { dst, func, args, at } => {
+                let callee = self.prog.function(*func);
+                if args.len() != callee.params.len() {
+                    return self.err(format!(
+                        "call to `{}` with {} args, expected {}",
+                        callee.name,
+                        args.len(),
+                        callee.params.len()
+                    ));
+                }
+                let at = match at {
+                    None => CallAt::Local,
+                    Some(AtTarget::OwnerOf(p)) => CallAt::OwnerOf(self.slot(*p)),
+                    Some(AtTarget::Node(n)) => CallAt::Node(self.opnd(*n)),
+                };
+                let args = args.iter().map(|a| self.opnd(*a)).collect();
+                self.emit(Op::Call {
+                    dst: dst.map(|d| self.slot(d)),
+                    func: *func,
+                    args,
+                    at,
+                });
+                Ok(())
+            }
+            Basic::Return(v) => {
+                if self.par_depth > 0 {
+                    return self.err("`return` inside a parallel arm or forall body");
+                }
+                let val = v.map(|o| self.opnd(o));
+                self.emit(Op::Ret { val });
+                Ok(())
+            }
+            Basic::BlkMov { dir, ptr, buf, range } => {
+                let struct_words = self.words_of_ptr(*ptr);
+                let (off, words) = range.unwrap_or((0, struct_words));
+                let buf_slot = self.slot(*buf);
+                if !self.is_remote(*ptr) {
+                    // A local block move: word-by-word local accesses.
+                    for w in off..off + words {
+                        match dir {
+                            earth_ir::BlkDir::RemoteToLocal => self.ops.push(Op::LoadLocal {
+                                dst: buf_slot + w,
+                                ptr: self.slot(*ptr),
+                                field: w,
+                            }),
+                            earth_ir::BlkDir::LocalToRemote => self.ops.push(Op::StoreLocal {
+                                ptr: self.slot(*ptr),
+                                field: w,
+                                src: Opnd::Slot(buf_slot + w),
+                            }),
+                        }
+                    }
+                    return Ok(());
+                }
+                let op = match dir {
+                    earth_ir::BlkDir::RemoteToLocal => Op::BlkRead {
+                        ptr: self.slot(*ptr),
+                        buf: buf_slot,
+                        off,
+                        words,
+                    },
+                    earth_ir::BlkDir::LocalToRemote => Op::BlkWrite {
+                        ptr: self.slot(*ptr),
+                        buf: buf_slot,
+                        off,
+                        words,
+                    },
+                };
+                self.emit(op);
+                Ok(())
+            }
+            Basic::AtomicWrite { var, value } => {
+                let op = Op::AtomicWrite {
+                    cell: self.slot(*var),
+                    src: self.opnd(*value),
+                };
+                self.emit(op);
+                Ok(())
+            }
+            Basic::AtomicAdd { var, value } => {
+                let op = Op::AtomicAdd {
+                    cell: self.slot(*var),
+                    src: self.opnd(*value),
+                };
+                self.emit(op);
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, dst: &Place, src: &Rvalue) -> Result<(), CodegenError> {
+        match dst {
+            Place::Var(v) => {
+                let dslot = self.slot(*v);
+                let dty = self.func.var(*v).ty;
+                if let Ty::Struct(sid) = dty {
+                    // Whole-struct copy.
+                    let words = self.prog.struct_def(sid).size_words() as u32;
+                    match src {
+                        Rvalue::Use(Operand::Var(s))
+                            if self.func.var(*s).ty == dty =>
+                        {
+                            self.emit(Op::CopySlots {
+                                dst: dslot,
+                                src: self.slot(*s),
+                                words,
+                            });
+                            Ok(())
+                        }
+                        _ => self.err("struct variables may only be copied from struct variables"),
+                    }
+                } else {
+                    self.rvalue_into(dslot, src)
+                }
+            }
+            Place::Mem(m) => {
+                // Materialize the source into a scalar operand first.
+                let src_opnd = match src {
+                    Rvalue::Use(o) => self.opnd(*o),
+                    other => {
+                        let scratch = self.scratch;
+                        self.rvalue_into(scratch, other)?;
+                        Opnd::Slot(scratch)
+                    }
+                };
+                match m {
+                    MemRef::Deref { base, field } => {
+                        let op = if self.is_remote(*base) {
+                            Op::StoreRemote {
+                                ptr: self.slot(*base),
+                                field: field.0,
+                                src: src_opnd,
+                            }
+                        } else {
+                            Op::StoreLocal {
+                                ptr: self.slot(*base),
+                                field: field.0,
+                                src: src_opnd,
+                            }
+                        };
+                        self.emit(op);
+                        Ok(())
+                    }
+                    MemRef::Field { base, field } => {
+                        let slot = self.slot(*base) + field.0;
+                        self.emit(Op::Mov {
+                            dst: slot,
+                            src: src_opnd,
+                        });
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn rvalue_into(&mut self, dst: Slot, src: &Rvalue) -> Result<(), CodegenError> {
+        match src {
+            Rvalue::Use(o) => {
+                let src = self.opnd(*o);
+                self.emit(Op::Mov { dst, src });
+                Ok(())
+            }
+            Rvalue::Unary(op, a) => {
+                let a = self.opnd(*a);
+                self.emit(Op::Un { dst, op: *op, a });
+                Ok(())
+            }
+            Rvalue::Binary(op, a, b) => {
+                let (a, b) = (self.opnd(*a), self.opnd(*b));
+                self.emit(Op::Bin {
+                    dst,
+                    op: *op,
+                    a,
+                    b,
+                });
+                Ok(())
+            }
+            Rvalue::Load(MemRef::Deref { base, field }) => {
+                let op = if self.is_remote(*base) {
+                    Op::LoadRemote {
+                        dst,
+                        ptr: self.slot(*base),
+                        field: field.0,
+                    }
+                } else {
+                    Op::LoadLocal {
+                        dst,
+                        ptr: self.slot(*base),
+                        field: field.0,
+                    }
+                };
+                self.emit(op);
+                Ok(())
+            }
+            Rvalue::Load(MemRef::Field { base, field }) => {
+                let src = Opnd::Slot(self.slot(*base) + field.0);
+                self.emit(Op::Mov { dst, src });
+                Ok(())
+            }
+            Rvalue::Malloc { struct_id, on } => {
+                let words = self.prog.struct_def(*struct_id).size_words() as u32;
+                let node = on.map(|o| self.opnd(o));
+                self.emit(Op::Malloc { dst, words, node });
+                Ok(())
+            }
+            Rvalue::Builtin { builtin, args } => {
+                let args = args.iter().map(|a| self.opnd(*a)).collect();
+                self.emit(Op::Builtin {
+                    dst,
+                    which: *builtin,
+                    args,
+                });
+                Ok(())
+            }
+            Rvalue::ValueOf(v) => {
+                let cell = self.slot(*v);
+                self.emit(Op::ValueOf { dst, cell });
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_frontend::compile;
+
+    fn cg(src: &str) -> CompiledProgram {
+        let prog = compile(src).unwrap();
+        compile_program(&prog, CodegenOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn remote_vs_local_loads() {
+        let cp = cg(r#"
+            struct N { N* next; int v; };
+            int f(N *p, N local *q) {
+                return p->v + q->v;
+            }
+        "#);
+        let f = &cp.functions[0];
+        let remotes = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::LoadRemote { .. }))
+            .count();
+        let locals = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::LoadLocal { .. }))
+            .count();
+        assert_eq!((remotes, locals), (1, 1));
+    }
+
+    #[test]
+    fn force_local_removes_remote_ops() {
+        let prog = compile(
+            r#"
+            struct N { N* next; int v; };
+            int f(N *p) { return p->v; }
+        "#,
+        )
+        .unwrap();
+        let cp = compile_program(&prog, CodegenOptions { force_local: true }).unwrap();
+        assert!(cp.functions[0]
+            .ops
+            .iter()
+            .all(|o| !matches!(o, Op::LoadRemote { .. })));
+    }
+
+    #[test]
+    fn struct_vars_get_slot_ranges() {
+        let cp = cg(r#"
+            struct P { double x; double y; double z; };
+            double f(P *p) {
+                P b;
+                b.x = 1.0;
+                b.z = 3.0;
+                return b.x + b.z;
+            }
+        "#);
+        let f = &cp.functions[0];
+        // b.x and b.z must land in different slots, 2 apart.
+        let movs: Vec<Slot> = f
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Mov { dst, src: Opnd::Imm(_) } => Some(*dst),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(movs.len(), 2);
+        assert_eq!(movs[1], movs[0] + 2);
+    }
+
+    #[test]
+    fn return_in_parallel_arm_rejected() {
+        let prog = compile(
+            r#"
+            struct N { int v; };
+            int f() {
+                int a;
+                {^
+                    a = 1;
+                    a = 2;
+                ^}
+                return a;
+            }
+        "#,
+        )
+        .unwrap();
+        // Patch: place a return inside an arm via the builder-level IR is
+        // awkward from source; instead check the forall case.
+        let _ = prog;
+        let bad = compile(
+            r#"
+            struct N { N* next; int v; };
+            int f(N *head) {
+                N *p;
+                forall (p = head; p != NULL; p = p->next) {
+                    return 1;
+                }
+                return 0;
+            }
+        "#,
+        )
+        .unwrap();
+        let e = compile_program(&bad, CodegenOptions::default()).unwrap_err();
+        assert!(e.message.contains("parallel"));
+    }
+
+    #[test]
+    fn forall_compiles_spawn_and_join() {
+        let cp = cg(r#"
+            struct N { N* next; int v; };
+            void f(N *head) {
+                N *p;
+                shared int c;
+                forall (p = head; p != NULL; p = p->next) {
+                    addto(&c, 1);
+                }
+            }
+        "#);
+        let f = &cp.functions[0];
+        assert!(f.ops.iter().any(|o| matches!(o, Op::SpawnIter { .. })));
+        assert!(f.ops.iter().any(|o| matches!(o, Op::JoinIters)));
+        assert!(f.ops.iter().any(|o| matches!(o, Op::AllocShared { .. })));
+        assert!(f.ops.iter().any(|o| matches!(o, Op::EndArm)));
+    }
+
+    #[test]
+    fn switch_table_built() {
+        let cp = cg(r#"
+            struct N { int v; };
+            int f(int x) {
+                int r;
+                switch (x) {
+                    case 0: r = 10; break;
+                    case 5: r = 20; break;
+                    default: r = 30;
+                }
+                return r;
+            }
+        "#);
+        let f = &cp.functions[0];
+        let sw = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Switch { table, default_pc, .. } => Some((table.clone(), *default_pc)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(sw.0.len(), 2);
+        assert_ne!(sw.1, Pc::MAX);
+    }
+}

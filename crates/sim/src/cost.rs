@@ -1,0 +1,115 @@
+//! The EARTH-MANNA timing model.
+//!
+//! All costs are in nanoseconds of virtual time. The remote-operation
+//! parameters are taken from the paper's Table I: a split-phase operation
+//! occupies the EU for its *pipelined* cost and completes (value available /
+//! write durable) after its *sequential* cost. Back-to-back dependent
+//! operations therefore cost the sequential figure each, while batched
+//! independent operations approach the pipelined figure — reproducing both
+//! extremes of Table I by construction.
+
+/// Timing parameters of the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// A simple ALU / control bytecode operation.
+    pub local_op_ns: u64,
+    /// A register-to-register copy (`Mov`). Defaults to zero: the real
+    /// code generator coalesces the copies the communication optimizer
+    /// introduces (`bx = comm1` in the paper's Figure 8(b)) during
+    /// register allocation.
+    pub mov_ns: u64,
+    /// A local memory access (dereference of a local pointer, struct
+    /// buffer field access beyond register pressure is folded in here).
+    pub local_mem_ns: u64,
+    /// EU occupancy to issue a remote word read.
+    pub read_issue_ns: u64,
+    /// Time from issue until the read value is available (Table I
+    /// "sequential" read: 7109 ns).
+    pub read_latency_ns: u64,
+    /// EU occupancy to issue a remote word write.
+    pub write_issue_ns: u64,
+    /// Time from issue until the write is durable (Table I "sequential"
+    /// write: 6458 ns), observable via `fence()`.
+    pub write_latency_ns: u64,
+    /// EU occupancy to issue a one-word block move.
+    pub blk_issue_ns: u64,
+    /// Time from issue until a one-word block move completes.
+    pub blk_latency_ns: u64,
+    /// Additional streaming time per extra word in a block move
+    /// (8 bytes over the 50 MB/s MANNA link ⇒ 160 ns/word).
+    pub blk_per_word_ns: u64,
+    /// EU occupancy for a remote operation whose target turns out to be
+    /// local memory (a "pseudo-remote" operation: still a runtime call,
+    /// but no network traversal).
+    pub pseudo_remote_ns: u64,
+    /// Context switch between threads on one EU.
+    pub switch_ns: u64,
+    /// Creating a thread on the local node (parallel-sequence arm,
+    /// forall iteration).
+    pub spawn_ns: u64,
+    /// One-way message latency for a remote function invocation (request
+    /// or reply).
+    pub remote_call_ns: u64,
+    /// Local function call / return overhead.
+    pub call_ns: u64,
+    /// Heap allocation.
+    pub malloc_ns: u64,
+    /// EU occupancy for an atomic operation on a remote shared variable.
+    pub atomic_remote_ns: u64,
+    /// Completion latency of a remote `valueof`.
+    pub atomic_latency_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            local_op_ns: 40,
+            mov_ns: 0,
+            local_mem_ns: 60,
+            read_issue_ns: 1908,
+            read_latency_ns: 7109,
+            write_issue_ns: 1749,
+            write_latency_ns: 6458,
+            blk_issue_ns: 2602,
+            blk_latency_ns: 9700,
+            blk_per_word_ns: 160,
+            pseudo_remote_ns: 250,
+            switch_ns: 400,
+            spawn_ns: 900,
+            remote_call_ns: 3500,
+            call_ns: 120,
+            malloc_ns: 250,
+            atomic_remote_ns: 1800,
+            atomic_latency_ns: 7000,
+        }
+    }
+}
+
+impl CostModel {
+    /// EU occupancy of a block move of `words` words.
+    pub fn blk_issue(&self, words: usize) -> u64 {
+        self.blk_issue_ns + self.blk_per_word_ns * words.saturating_sub(1) as u64
+    }
+
+    /// Completion latency of a block move of `words` words.
+    pub fn blk_latency(&self, words: usize) -> u64 {
+        self.blk_latency_ns + self.blk_per_word_ns * words.saturating_sub(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_defaults() {
+        let c = CostModel::default();
+        assert_eq!(c.read_issue_ns, 1908);
+        assert_eq!(c.read_latency_ns, 7109);
+        assert_eq!(c.write_issue_ns, 1749);
+        assert_eq!(c.write_latency_ns, 6458);
+        assert_eq!(c.blk_issue(1), 2602);
+        assert_eq!(c.blk_latency(1), 9700);
+        assert_eq!(c.blk_issue(4), 2602 + 3 * 160);
+    }
+}

@@ -1,0 +1,1181 @@
+//! The discrete-event EARTH-MANNA machine.
+//!
+//! Mirrors the architecture of the paper's Figure 9: each node has an
+//! Execution Unit running threads non-preemptively ("the EU executes a
+//! thread to completion before moving to another thread" — here, until the
+//! thread stalls on a split-phase value, blocks on a join, or ends), a
+//! ready queue, and local memory that is one slice of the global address
+//! space. Split-phase remote operations occupy the EU for their pipelined
+//! issue cost and deliver their result after the full Table-I latency;
+//! threads touching a still-pending value are suspended and rescheduled at
+//! the value's ready time, letting the EU run other threads meanwhile —
+//! which is exactly how EARTH overlaps communication with computation.
+//!
+//! The simulation is deterministic: a single virtual clock, a stable event
+//! order, and a seeded LCG for the `rand()` builtin.
+
+use crate::bytecode::{CallAt, CompiledProgram, Op, Opnd, Pc, Slot};
+use crate::cost::CostModel;
+use crate::stats::Stats;
+use crate::value::{Addr, NodeHeap, NodeId, Value};
+use earth_ir::{BinOp, Builtin, FuncId, UnOp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Machine construction parameters.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of EARTH nodes.
+    pub n_nodes: u16,
+    /// Timing model.
+    pub cost: CostModel,
+    /// Seed for the `rand()` builtin.
+    pub seed: u64,
+    /// Abort after this many bytecode operations (runaway guard).
+    pub max_ops: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            n_nodes: 1,
+            cost: CostModel::default(),
+            seed: 0x5EED_1234,
+            max_ops: 2_000_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A machine with `n` nodes and default cost model.
+    pub fn with_nodes(n: u16) -> Self {
+        MachineConfig {
+            n_nodes: n,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// A simulation failure (runtime error in the simulated program, deadlock,
+/// or resource exhaustion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimError {
+    /// Virtual time of the failure.
+    pub time_ns: u64,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error at t={}ns: {}", self.time_ns, self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The entry function's return value.
+    pub ret: Value,
+    /// Virtual completion time in nanoseconds.
+    pub time_ns: u64,
+    /// Operation counts.
+    pub stats: Stats,
+    /// Lines produced by `print_int` / `print_double`.
+    pub output: Vec<String>,
+    /// Per-node EU busy time in nanoseconds (index = node id); the gap to
+    /// `time_ns` is idle/stall time, so this exposes load balance.
+    pub node_busy_ns: Vec<u64>,
+}
+
+impl RunResult {
+    /// Mean EU utilization across nodes (busy time / completion time).
+    pub fn utilization(&self) -> f64 {
+        if self.time_ns == 0 || self.node_busy_ns.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.node_busy_ns.iter().sum();
+        total as f64 / (self.time_ns as f64 * self.node_busy_ns.len() as f64)
+    }
+
+    /// Load imbalance: max node busy time over mean node busy time
+    /// (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.node_busy_ns.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.node_busy_ns.len() as f64;
+        let max = *self.node_busy_ns.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+}
+
+type ThreadId = u32;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ThreadState {
+    /// Has a wake event scheduled (or is being executed).
+    Ready,
+    /// Waiting for a remote call reply or a join; resumed explicitly.
+    Blocked,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    val: Value,
+    ready: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    cells: Vec<Cell>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActRec {
+    func: FuncId,
+    pc: Pc,
+    frame: usize,
+    /// Slot in the *caller's* frame receiving the return value.
+    ret_slot: Option<Slot>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ParentLink {
+    /// Arm of a Fork or a forall iteration: notify parent on EndArm.
+    Arm(ThreadId),
+    /// Remote invocation: reply to `(thread, slot)` on final Ret.
+    Reply(ThreadId, Option<Slot>),
+    /// The root thread.
+    Root,
+}
+
+#[derive(Debug)]
+struct Thread {
+    node: NodeId,
+    stack: Vec<ActRec>,
+    state: ThreadState,
+    parent: ParentLink,
+    outstanding_children: u32,
+    waiting_join: bool,
+    writes_done_at: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeState {
+    eu_free_at: u64,
+    last_thread: Option<ThreadId>,
+    busy_ns: u64,
+}
+
+/// The machine: global address space plus per-node EUs.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    heaps: Vec<NodeHeap>,
+    nodes: Vec<NodeState>,
+    threads: Vec<Thread>,
+    frames: Vec<Frame>,
+    events: BinaryHeap<Reverse<(u64, u64, ThreadId)>>,
+    event_seq: u64,
+    stats: Stats,
+    rng: u64,
+    output: Vec<String>,
+    result: Option<Value>,
+    finished_at: u64,
+}
+
+impl Machine {
+    /// Creates a machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.n_nodes >= 1, "need at least one node");
+        Machine {
+            heaps: (0..cfg.n_nodes).map(|_| NodeHeap::default()).collect(),
+            nodes: vec![NodeState::default(); cfg.n_nodes as usize],
+            threads: Vec::new(),
+            frames: Vec::new(),
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            stats: Stats::default(),
+            rng: cfg.seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493),
+            output: Vec::new(),
+            result: None,
+            finished_at: 0,
+            cfg,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> u16 {
+        self.cfg.n_nodes
+    }
+
+    /// Runs `func` (by id) with `args` on node 0 and simulates to
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on runtime errors in the simulated program
+    /// (null dereference of a local pointer, locality violations, arity
+    /// mismatches), deadlock, or exceeding the operation budget.
+    pub fn run(
+        &mut self,
+        prog: &CompiledProgram,
+        func: FuncId,
+        args: &[Value],
+    ) -> Result<RunResult, SimError> {
+        let cf = &prog.functions[func.index()];
+        if args.len() != cf.param_slots.len() {
+            return Err(SimError {
+                time_ns: 0,
+                message: format!(
+                    "entry `{}` expects {} arguments, got {}",
+                    cf.name,
+                    cf.param_slots.len(),
+                    args.len()
+                ),
+            });
+        }
+        let frame = self.new_frame(cf.n_slots);
+        for (&slot, &v) in cf.param_slots.iter().zip(args) {
+            self.frames[frame].cells[slot as usize] = Cell { val: v, ready: 0 };
+        }
+        let tid = self.new_thread(
+            0,
+            ActRec {
+                func,
+                pc: 0,
+                frame,
+                ret_slot: None,
+            },
+            ParentLink::Root,
+        );
+        self.schedule(0, tid);
+
+        while let Some(Reverse((time, _, tid))) = self.events.pop() {
+            if self.threads[tid as usize].state != ThreadState::Ready {
+                continue;
+            }
+            self.run_thread(prog, tid, time)?;
+            if self.result.is_some() {
+                break;
+            }
+        }
+        match self.result.take() {
+            Some(ret) => Ok(RunResult {
+                ret,
+                time_ns: self.finished_at,
+                stats: self.stats,
+                output: std::mem::take(&mut self.output),
+                node_busy_ns: self.nodes.iter().map(|n| n.busy_ns).collect(),
+            }),
+            None => Err(SimError {
+                time_ns: self.finished_at,
+                message: "deadlock: no runnable threads but the program has not finished".into(),
+            }),
+        }
+    }
+
+    fn new_frame(&mut self, n_slots: u32) -> usize {
+        self.frames.push(Frame {
+            cells: vec![
+                Cell {
+                    val: Value::Uninit,
+                    ready: 0,
+                };
+                n_slots as usize
+            ],
+        });
+        self.frames.len() - 1
+    }
+
+    fn new_thread(&mut self, node: NodeId, root: ActRec, parent: ParentLink) -> ThreadId {
+        let tid = self.threads.len() as ThreadId;
+        self.threads.push(Thread {
+            node,
+            stack: vec![root],
+            state: ThreadState::Blocked,
+            parent,
+            outstanding_children: 0,
+            waiting_join: false,
+            writes_done_at: 0,
+        });
+        tid
+    }
+
+    fn schedule(&mut self, time: u64, tid: ThreadId) {
+        self.threads[tid as usize].state = ThreadState::Ready;
+        self.event_seq += 1;
+        self.events.push(Reverse((time, self.event_seq, tid)));
+    }
+
+    fn err<T>(&self, time: u64, message: impl Into<String>) -> Result<T, SimError> {
+        Err(SimError {
+            time_ns: time,
+            message: message.into(),
+        })
+    }
+
+    // ---- value plumbing -------------------------------------------------
+
+    fn cell(&self, frame: usize, slot: Slot) -> Cell {
+        self.frames[frame].cells[slot as usize]
+    }
+
+    fn set_cell(&mut self, frame: usize, slot: Slot, val: Value, ready: u64) {
+        self.frames[frame].cells[slot as usize] = Cell { val, ready };
+    }
+
+    fn opnd_ready(&self, frame: usize, o: &Opnd) -> u64 {
+        match o {
+            Opnd::Slot(s) => self.cell(frame, *s).ready,
+            Opnd::Imm(_) => 0,
+        }
+    }
+
+    fn opnd_val(&self, frame: usize, o: &Opnd) -> Value {
+        match o {
+            Opnd::Slot(s) => self.cell(frame, *s).val,
+            Opnd::Imm(v) => *v,
+        }
+    }
+
+    /// The earliest time every slot this op *reads* is available.
+    fn op_ready_at(&self, t: &Thread, frame: usize, op: &Op) -> u64 {
+        let mut r = 0u64;
+        let slot = |s: Slot| -> u64 { self.cell(frame, s).ready };
+        let opnd = |o: &Opnd| -> u64 { self.opnd_ready(frame, o) };
+        match op {
+            // Mov propagates pending-ness (a register rename, not a use):
+            // no readiness requirement on the source.
+            Op::Mov { .. } => {}
+            Op::Bin { a, b, .. } => r = opnd(a).max(opnd(b)),
+            Op::Un { a, .. } => r = opnd(a),
+            Op::LoadLocal { ptr, .. } | Op::LoadRemote { ptr, .. } => r = slot(*ptr),
+            Op::StoreLocal { ptr, src, .. } | Op::StoreRemote { ptr, src, .. } => {
+                r = slot(*ptr).max(opnd(src))
+            }
+            Op::BlkRead { ptr, .. } => r = slot(*ptr),
+            Op::BlkWrite {
+                ptr, buf, off, words,
+            } => {
+                r = slot(*ptr);
+                for w in *off..*off + *words {
+                    r = r.max(slot(buf + w));
+                }
+            }
+            Op::CopySlots { src, words, .. } => {
+                for w in 0..*words {
+                    r = r.max(slot(src + w));
+                }
+            }
+            Op::Malloc { node, .. } => {
+                if let Some(n) = node {
+                    r = opnd(n);
+                }
+            }
+            Op::AllocShared { .. } => {}
+            Op::AtomicWrite { cell, src } | Op::AtomicAdd { cell, src } => {
+                r = slot(*cell).max(opnd(src))
+            }
+            Op::ValueOf { cell, .. } => r = slot(*cell),
+            Op::Call { args, at, .. } => {
+                for a in args {
+                    r = r.max(opnd(a));
+                }
+                match at {
+                    CallAt::OwnerOf(s) => r = r.max(slot(*s)),
+                    CallAt::Node(o) => r = r.max(opnd(o)),
+                    CallAt::Local => {}
+                }
+            }
+            Op::Builtin { which, args, .. } => {
+                for a in args {
+                    r = r.max(opnd(a));
+                }
+                if matches!(which, Builtin::Fence) {
+                    r = r.max(t.writes_done_at);
+                }
+            }
+            Op::Ret { val } => {
+                if let Some(v) = val {
+                    r = opnd(v);
+                }
+            }
+            Op::Br { a, b, .. } => r = opnd(a).max(opnd(b)),
+            Op::Switch { scrut, .. } => r = opnd(scrut),
+            Op::Jmp(_) | Op::Fork { .. } | Op::SpawnIter { .. } | Op::JoinIters | Op::EndArm => {}
+        }
+        r
+    }
+
+    // ---- the EU ---------------------------------------------------------
+
+    /// Runs thread `tid` from `event_time` until it stalls, blocks, or
+    /// finishes. Returns when the EU is released.
+    fn run_thread(
+        &mut self,
+        prog: &CompiledProgram,
+        tid: ThreadId,
+        event_time: u64,
+    ) -> Result<(), SimError> {
+        let node = self.threads[tid as usize].node as usize;
+        let mut now = event_time.max(self.nodes[node].eu_free_at);
+        if self.nodes[node].last_thread != Some(tid) {
+            now += self.cfg.cost.switch_ns;
+        }
+        self.nodes[node].last_thread = Some(tid);
+        let span_start = now;
+
+        loop {
+            self.stats.ops += 1;
+            if self.stats.ops > self.cfg.max_ops {
+                return self.err(now, "operation budget exceeded (infinite loop?)");
+            }
+            let rec = *self.threads[tid as usize]
+                .stack
+                .last()
+                .expect("running thread has a frame");
+            let op = prog.functions[rec.func.index()].ops[rec.pc as usize].clone();
+
+            // Stall if an input is still in flight.
+            let ready_at = self.op_ready_at(&self.threads[tid as usize], rec.frame, &op);
+            if ready_at > now {
+                self.stats.stall_ns += ready_at - now;
+                self.nodes[node].eu_free_at = now;
+                self.nodes[node].busy_ns += now - span_start;
+                self.schedule(ready_at, tid);
+                return Ok(());
+            }
+
+            let c = self.cfg.cost.clone();
+            let frame = rec.frame;
+            // Advance pc by default; control ops override.
+            self.threads[tid as usize].stack.last_mut().unwrap().pc = rec.pc + 1;
+
+            match op {
+                Op::Mov { dst, src } => {
+                    // Copies propagate the ready time of their source: the
+                    // EU does not synchronize on a value just to move it
+                    // (the compiler would have renamed the sync slot).
+                    let (v, ready) = match &src {
+                        Opnd::Slot(s) => {
+                            let cell = self.cell(frame, *s);
+                            (cell.val, cell.ready)
+                        }
+                        Opnd::Imm(v) => (*v, 0),
+                    };
+                    self.set_cell(frame, dst, v, ready);
+                    now += c.mov_ns;
+                }
+                Op::Bin { dst, op, a, b } => {
+                    let av = self.opnd_val(frame, &a);
+                    let bv = self.opnd_val(frame, &b);
+                    let v = eval_bin(op, av, bv).map_err(|m| SimError {
+                        time_ns: now,
+                        message: m,
+                    })?;
+                    self.set_cell(frame, dst, v, 0);
+                    now += c.local_op_ns;
+                }
+                Op::Un { dst, op, a } => {
+                    let av = self.opnd_val(frame, &a);
+                    let v = eval_un(op, av).map_err(|m| SimError {
+                        time_ns: now,
+                        message: m,
+                    })?;
+                    self.set_cell(frame, dst, v, 0);
+                    now += c.local_op_ns;
+                }
+                Op::LoadLocal { dst, ptr, field } => {
+                    let addr = self.expect_local_addr(now, tid, frame, ptr)?;
+                    let v = self.heaps[addr.node as usize]
+                        .load(addr.index, field as usize)
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?;
+                    self.set_cell(frame, dst, v, 0);
+                    self.stats.local_mem += 1;
+                    now += c.local_mem_ns;
+                }
+                Op::LoadRemote { dst, ptr, field } => {
+                    self.stats.read_data += 1;
+                    match self.cell(frame, ptr).val {
+                        Value::Ptr(addr) => {
+                            let v = self.heaps[addr.node as usize]
+                                .load(addr.index, field as usize)
+                                .map_err(|m| SimError {
+                                    time_ns: now,
+                                    message: m,
+                                })?;
+                            if addr.node as usize == node {
+                                now += c.pseudo_remote_ns;
+                                self.set_cell(frame, dst, v, 0);
+                            } else {
+                                let ready = now + c.read_latency_ns;
+                                now += c.read_issue_ns;
+                                self.set_cell(frame, dst, v, ready);
+                            }
+                        }
+                        // Speculative read of an invalid address: EARTH
+                        // tolerates it; the result must simply never be used.
+                        Value::Null | Value::Uninit => {
+                            let ready = now + c.read_latency_ns;
+                            now += c.read_issue_ns;
+                            self.set_cell(frame, dst, Value::Uninit, ready);
+                        }
+                        other => {
+                            return self.err(now, format!("remote read through non-pointer {other:?}"))
+                        }
+                    }
+                }
+                Op::StoreLocal { ptr, field, src } => {
+                    let addr = self.expect_local_addr(now, tid, frame, ptr)?;
+                    let v = self.opnd_val(frame, &src);
+                    self.heaps[addr.node as usize]
+                        .store(addr.index, field as usize, v)
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?;
+                    self.stats.local_mem += 1;
+                    now += c.local_mem_ns;
+                }
+                Op::StoreRemote { ptr, field, src } => {
+                    self.stats.write_data += 1;
+                    let Some(addr) = self
+                        .cell(frame, ptr)
+                        .val
+                        .as_ptr()
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?
+                    else {
+                        return self.err(now, "remote write through NULL pointer");
+                    };
+                    let v = self.opnd_val(frame, &src);
+                    self.heaps[addr.node as usize]
+                        .store(addr.index, field as usize, v)
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?;
+                    if addr.node as usize == node {
+                        now += c.pseudo_remote_ns;
+                    } else {
+                        let done = now + c.write_latency_ns;
+                        let t = &mut self.threads[tid as usize];
+                        t.writes_done_at = t.writes_done_at.max(done);
+                        now += c.write_issue_ns;
+                    }
+                }
+                Op::BlkRead {
+                    ptr, buf, off, words,
+                } => {
+                    self.stats.blkmov += 1;
+                    self.stats.blkmov_words += words as u64;
+                    match self.cell(frame, ptr).val {
+                        Value::Ptr(addr) => {
+                            let vals: Vec<Value> = self.heaps[addr.node as usize]
+                                .load_range(addr.index, off as usize, words as usize)
+                                .map_err(|m| SimError {
+                                    time_ns: now,
+                                    message: m,
+                                })?
+                                .to_vec();
+                            let (issue, ready) = if addr.node as usize == node {
+                                (c.pseudo_remote_ns, now)
+                            } else {
+                                (
+                                    c.blk_issue(words as usize),
+                                    now + c.blk_latency(words as usize),
+                                )
+                            };
+                            for (w, v) in vals.into_iter().enumerate() {
+                                self.set_cell(frame, buf + off + w as u32, v, ready);
+                            }
+                            now += issue;
+                        }
+                        Value::Null | Value::Uninit => {
+                            let ready = now + c.blk_latency(words as usize);
+                            for w in off..off + words {
+                                self.set_cell(frame, buf + w, Value::Uninit, ready);
+                            }
+                            now += c.blk_issue(words as usize);
+                        }
+                        other => {
+                            return self.err(now, format!("blkmov through non-pointer {other:?}"))
+                        }
+                    }
+                }
+                Op::BlkWrite {
+                    ptr, buf, off, words,
+                } => {
+                    self.stats.blkmov += 1;
+                    self.stats.blkmov_words += words as u64;
+                    let Some(addr) = self
+                        .cell(frame, ptr)
+                        .val
+                        .as_ptr()
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?
+                    else {
+                        return self.err(now, "blkmov write through NULL pointer");
+                    };
+                    let vals: Vec<Value> = (off..off + words)
+                        .map(|w| self.cell(frame, buf + w).val)
+                        .collect();
+                    self.heaps[addr.node as usize]
+                        .store_range(addr.index, off as usize, &vals)
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?;
+                    if addr.node as usize == node {
+                        now += c.pseudo_remote_ns;
+                    } else {
+                        let done = now + c.blk_latency(words as usize);
+                        let t = &mut self.threads[tid as usize];
+                        t.writes_done_at = t.writes_done_at.max(done);
+                        now += c.blk_issue(words as usize);
+                    }
+                }
+                Op::CopySlots { dst, src, words } => {
+                    for w in 0..words {
+                        let v = self.cell(frame, src + w);
+                        self.set_cell(frame, dst + w, v.val, v.ready);
+                    }
+                    now += c.local_op_ns * words as u64;
+                }
+                Op::Malloc { dst, words, node: on } => {
+                    let target = match on {
+                        None => node as NodeId,
+                        Some(o) => {
+                            let n = self
+                                .opnd_val(frame, &o)
+                                .as_int()
+                                .map_err(|m| SimError {
+                                    time_ns: now,
+                                    message: m,
+                                })?;
+                            
+                            n.rem_euclid(self.cfg.n_nodes as i64) as NodeId
+                        }
+                    };
+                    let index = self.heaps[target as usize].alloc(words as usize);
+                    self.set_cell(frame, dst, Value::Ptr(Addr { node: target, index }), 0);
+                    now += c.malloc_ns;
+                    if target as usize != node {
+                        now += c.write_issue_ns;
+                    }
+                }
+                Op::AllocShared { dst } => {
+                    let index = self.heaps[node].alloc(1);
+                    self.heaps[node]
+                        .store(index, 0, Value::Int(0))
+                        .expect("fresh cell");
+                    self.set_cell(
+                        frame,
+                        dst,
+                        Value::Ptr(Addr {
+                            node: node as NodeId,
+                            index,
+                        }),
+                        0,
+                    );
+                    now += c.malloc_ns;
+                }
+                Op::AtomicWrite { cell, src } | Op::AtomicAdd { cell, src } => {
+                    let is_add = matches!(op, Op::AtomicAdd { .. });
+                    let Some(addr) = self
+                        .cell(frame, cell)
+                        .val
+                        .as_ptr()
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?
+                    else {
+                        return self.err(now, "atomic op on unallocated shared cell");
+                    };
+                    let v = self.opnd_val(frame, &src);
+                    let new = if is_add {
+                        let old = self.heaps[addr.node as usize]
+                            .load(addr.index, 0)
+                            .map_err(|m| SimError {
+                                time_ns: now,
+                                message: m,
+                            })?;
+                        Value::Int(
+                            old.as_int().map_err(|m| SimError {
+                                time_ns: now,
+                                message: m,
+                            })? + v.as_int().map_err(|m| SimError {
+                                time_ns: now,
+                                message: m,
+                            })?,
+                        )
+                    } else {
+                        v
+                    };
+                    self.heaps[addr.node as usize]
+                        .store(addr.index, 0, new)
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?;
+                    if addr.node as usize == node {
+                        self.stats.local_mem += 1;
+                        now += c.local_mem_ns;
+                    } else {
+                        self.stats.atomic_remote += 1;
+                        now += c.atomic_remote_ns;
+                    }
+                }
+                Op::ValueOf { dst, cell } => {
+                    let Some(addr) = self
+                        .cell(frame, cell)
+                        .val
+                        .as_ptr()
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?
+                    else {
+                        return self.err(now, "valueof on unallocated shared cell");
+                    };
+                    let v = self.heaps[addr.node as usize]
+                        .load(addr.index, 0)
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?;
+                    if addr.node as usize == node {
+                        self.stats.local_mem += 1;
+                        self.set_cell(frame, dst, v, 0);
+                        now += c.local_mem_ns;
+                    } else {
+                        self.stats.atomic_remote += 1;
+                        let ready = now + c.atomic_latency_ns;
+                        self.set_cell(frame, dst, v, ready);
+                        now += c.atomic_remote_ns;
+                    }
+                }
+                Op::Call {
+                    dst,
+                    func,
+                    args,
+                    at,
+                } => {
+                    let callee = &prog.functions[func.index()];
+                    if args.len() != callee.param_slots.len() {
+                        return self.err(now, format!("arity mismatch calling `{}`", callee.name));
+                    }
+                    let target: usize = match at {
+                        CallAt::Local => node,
+                        CallAt::OwnerOf(s) => match self.cell(frame, s).val {
+                            Value::Ptr(a) => a.node as usize,
+                            Value::Null => {
+                                return self.err(now, "OWNER_OF(NULL)");
+                            }
+                            other => {
+                                return self
+                                    .err(now, format!("OWNER_OF of non-pointer {other:?}"))
+                            }
+                        },
+                        CallAt::Node(o) => {
+                            let n = self
+                                .opnd_val(frame, &o)
+                                .as_int()
+                                .map_err(|m| SimError {
+                                    time_ns: now,
+                                    message: m,
+                                })?;
+                            n.rem_euclid(self.cfg.n_nodes as i64) as usize
+                        }
+                    };
+                    let arg_vals: Vec<Value> =
+                        args.iter().map(|a| self.opnd_val(frame, a)).collect();
+                    let new_frame = self.new_frame(callee.n_slots);
+                    let param_slots = callee.param_slots.clone();
+                    for (&slot, v) in param_slots.iter().zip(arg_vals) {
+                        self.set_cell(new_frame, slot, v, 0);
+                    }
+                    now += c.call_ns;
+                    if target == node {
+                        // Synchronous local call: push a frame.
+                        self.threads[tid as usize].stack.push(ActRec {
+                            func,
+                            pc: 0,
+                            frame: new_frame,
+                            ret_slot: dst,
+                        });
+                    } else {
+                        // Remote invocation: suspend and spawn over there.
+                        self.stats.remote_calls += 1;
+                        let child = self.new_thread(
+                            target as NodeId,
+                            ActRec {
+                                func,
+                                pc: 0,
+                                frame: new_frame,
+                                ret_slot: None,
+                            },
+                            ParentLink::Reply(tid, dst),
+                        );
+                        self.schedule(now + c.remote_call_ns, child);
+                        self.threads[tid as usize].state = ThreadState::Blocked;
+                        self.nodes[node].eu_free_at = now;
+                self.nodes[node].busy_ns += now - span_start;
+                        return Ok(());
+                    }
+                }
+                Op::Builtin { dst, which, args } => {
+                    now += c.local_op_ns;
+                    let v = match which {
+                        Builtin::Sqrt => Value::Double(
+                            self.opnd_val(frame, &args[0])
+                                .as_double()
+                                .map_err(|m| SimError {
+                                    time_ns: now,
+                                    message: m,
+                                })?
+                                .sqrt(),
+                        ),
+                        Builtin::Fabs => Value::Double(
+                            self.opnd_val(frame, &args[0])
+                                .as_double()
+                                .map_err(|m| SimError {
+                                    time_ns: now,
+                                    message: m,
+                                })?
+                                .abs(),
+                        ),
+                        Builtin::Rand => {
+                            self.rng = self
+                                .rng
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            Value::Int(((self.rng >> 33) & 0x7FFF_FFFF) as i64)
+                        }
+                        Builtin::NumNodes => Value::Int(self.cfg.n_nodes as i64),
+                        Builtin::MyNode => Value::Int(node as i64),
+                        Builtin::OwnerOf => match self.opnd_val(frame, &args[0]) {
+                            Value::Ptr(a) => Value::Int(a.node as i64),
+                            Value::Null => {
+                                return self.err(now, "owner_of(NULL)");
+                            }
+                            other => {
+                                return self
+                                    .err(now, format!("owner_of of non-pointer {other:?}"))
+                            }
+                        },
+                        Builtin::PrintInt => {
+                            let v = self.opnd_val(frame, &args[0]);
+                            self.output.push(format!("{v}"));
+                            v
+                        }
+                        Builtin::PrintDouble => {
+                            let v = self.opnd_val(frame, &args[0]);
+                            self.output.push(format!("{v}"));
+                            v
+                        }
+                        // Readiness was checked against writes_done_at.
+                        Builtin::Fence => Value::Int(0),
+                    };
+                    self.set_cell(frame, dst, v, 0);
+                }
+                Op::Ret { val } => {
+                    let v = val.map(|o| self.opnd_val(frame, &o)).unwrap_or(Value::Int(0));
+                    now += c.call_ns;
+                    let popped = self.threads[tid as usize].stack.pop().expect("frame");
+                    if let Some(caller) = self.threads[tid as usize].stack.last() {
+                        let caller_frame = caller.frame;
+                        if let Some(slot) = popped.ret_slot {
+                            self.set_cell(caller_frame, slot, v, 0);
+                        }
+                        continue;
+                    }
+                    // Root frame of this thread.
+                    match self.threads[tid as usize].parent {
+                        ParentLink::Root => {
+                            self.threads[tid as usize].state = ThreadState::Done;
+                            self.nodes[node].eu_free_at = now;
+                self.nodes[node].busy_ns += now - span_start;
+                            // Completion waits for outstanding writes.
+                            self.finished_at =
+                                now.max(self.threads[tid as usize].writes_done_at);
+                            self.result = Some(v);
+                            return Ok(());
+                        }
+                        ParentLink::Reply(caller, dst) => {
+                            self.threads[tid as usize].state = ThreadState::Done;
+                            let arrive = now + c.remote_call_ns;
+                            let caller_t = &self.threads[caller as usize];
+                            let caller_frame =
+                                caller_t.stack.last().expect("caller stack").frame;
+                            if let Some(slot) = dst {
+                                self.set_cell(caller_frame, slot, v, arrive);
+                            }
+                            // Completion of the callee's remote writes is
+                            // covered by the reply ordering on EARTH; fold
+                            // it into the caller's fence state.
+                            let wd = self.threads[tid as usize].writes_done_at;
+                            let ct = &mut self.threads[caller as usize];
+                            ct.writes_done_at = ct.writes_done_at.max(wd);
+                            self.schedule(arrive, caller);
+                            self.nodes[node].eu_free_at = now;
+                self.nodes[node].busy_ns += now - span_start;
+                            return Ok(());
+                        }
+                        ParentLink::Arm(_) => {
+                            return self.err(now, "return from a parallel arm");
+                        }
+                    }
+                }
+                Op::Jmp(t) => {
+                    self.threads[tid as usize].stack.last_mut().unwrap().pc = t;
+                    now += c.local_op_ns;
+                }
+                Op::Br {
+                    op,
+                    a,
+                    b,
+                    then_pc,
+                    else_pc,
+                } => {
+                    let av = self.opnd_val(frame, &a);
+                    let bv = self.opnd_val(frame, &b);
+                    let v = eval_bin(op, av, bv).map_err(|m| SimError {
+                        time_ns: now,
+                        message: m,
+                    })?;
+                    let taken = v.truthy().map_err(|m| SimError {
+                        time_ns: now,
+                        message: m,
+                    })?;
+                    self.threads[tid as usize].stack.last_mut().unwrap().pc =
+                        if taken { then_pc } else { else_pc };
+                    now += c.local_op_ns;
+                }
+                Op::Switch {
+                    scrut,
+                    table,
+                    default_pc,
+                } => {
+                    let v = self
+                        .opnd_val(frame, &scrut)
+                        .as_int()
+                        .map_err(|m| SimError {
+                            time_ns: now,
+                            message: m,
+                        })?;
+                    let target = table
+                        .iter()
+                        .find(|(k, _)| *k == v)
+                        .map(|(_, pc)| *pc)
+                        .unwrap_or(default_pc);
+                    self.threads[tid as usize].stack.last_mut().unwrap().pc = target;
+                    now += c.local_op_ns;
+                }
+                Op::Fork { arms, cont } => {
+                    let func = rec.func;
+                    self.threads[tid as usize].stack.last_mut().unwrap().pc = cont;
+                    self.threads[tid as usize].outstanding_children = arms.len() as u32;
+                    self.threads[tid as usize].waiting_join = true;
+                    self.threads[tid as usize].state = ThreadState::Blocked;
+                    for arm_pc in arms {
+                        now += c.spawn_ns;
+                        self.stats.spawns += 1;
+                        let child = self.new_thread(
+                            node as NodeId,
+                            ActRec {
+                                func,
+                                pc: arm_pc,
+                                frame,
+                                ret_slot: None,
+                            },
+                            ParentLink::Arm(tid),
+                        );
+                        self.schedule(now, child);
+                    }
+                    self.nodes[node].eu_free_at = now;
+                self.nodes[node].busy_ns += now - span_start;
+                    return Ok(());
+                }
+                Op::SpawnIter { body } => {
+                    let func = rec.func;
+                    now += c.spawn_ns;
+                    self.stats.spawns += 1;
+                    // The iteration gets a copy of the frame: forall bodies
+                    // must not carry dependences on ordinary variables.
+                    let cloned = self.frames[frame].cells.clone();
+                    self.frames.push(Frame { cells: cloned });
+                    let new_frame = self.frames.len() - 1;
+                    self.threads[tid as usize].outstanding_children += 1;
+                    let child = self.new_thread(
+                        node as NodeId,
+                        ActRec {
+                            func,
+                            pc: body,
+                            frame: new_frame,
+                            ret_slot: None,
+                        },
+                        ParentLink::Arm(tid),
+                    );
+                    self.schedule(now, child);
+                }
+                Op::JoinIters => {
+                    if self.threads[tid as usize].outstanding_children > 0 {
+                        self.threads[tid as usize].waiting_join = true;
+                        self.threads[tid as usize].state = ThreadState::Blocked;
+                        self.nodes[node].eu_free_at = now;
+                self.nodes[node].busy_ns += now - span_start;
+                        return Ok(());
+                    }
+                    now += c.local_op_ns;
+                }
+                Op::EndArm => {
+                    self.threads[tid as usize].state = ThreadState::Done;
+                    let wd = self.threads[tid as usize].writes_done_at;
+                    if let ParentLink::Arm(parent) = self.threads[tid as usize].parent {
+                        let pt = &mut self.threads[parent as usize];
+                        pt.outstanding_children -= 1;
+                        pt.writes_done_at = pt.writes_done_at.max(wd);
+                        if pt.outstanding_children == 0 && pt.waiting_join {
+                            pt.waiting_join = false;
+                            self.schedule(now, parent);
+                        }
+                    }
+                    self.nodes[node].eu_free_at = now;
+                self.nodes[node].busy_ns += now - span_start;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn expect_local_addr(
+        &self,
+        now: u64,
+        tid: ThreadId,
+        frame: usize,
+        ptr: Slot,
+    ) -> Result<Addr, SimError> {
+        match self.cell(frame, ptr).val {
+            Value::Ptr(a) => {
+                if a.node != self.threads[tid as usize].node {
+                    return self.err(
+                        now,
+                        format!(
+                            "locality violation: local access to {a} from node {}",
+                            self.threads[tid as usize].node
+                        ),
+                    );
+                }
+                Ok(a)
+            }
+            Value::Null => self.err(now, "local dereference of NULL"),
+            other => self.err(now, format!("local dereference of non-pointer {other:?}")),
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
+    use Value::*;
+    // Pointer comparisons.
+    if op.is_comparison() {
+        let r = match (a, b) {
+            (Ptr(x), Ptr(y)) => match op {
+                BinOp::Eq => Some(x == y),
+                BinOp::Ne => Some(x != y),
+                _ => return Err("ordered comparison of pointers".into()),
+            },
+            (Ptr(_), Null) => match op {
+                BinOp::Eq => Some(false),
+                BinOp::Ne => Some(true),
+                _ => return Err("ordered comparison of pointers".into()),
+            },
+            (Null, Ptr(_)) => match op {
+                BinOp::Eq => Some(false),
+                BinOp::Ne => Some(true),
+                _ => return Err("ordered comparison of pointers".into()),
+            },
+            (Null, Null) => match op {
+                BinOp::Eq => Some(true),
+                BinOp::Ne => Some(false),
+                _ => return Err("ordered comparison of pointers".into()),
+            },
+            _ => None,
+        };
+        if let Some(v) = r {
+            return Ok(Int(v as i64));
+        }
+    }
+    match (a, b) {
+        (Int(x), Int(y)) => {
+            let v = match op {
+                BinOp::Add => Int(x.wrapping_add(y)),
+                BinOp::Sub => Int(x.wrapping_sub(y)),
+                BinOp::Mul => Int(x.wrapping_mul(y)),
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err("integer division by zero".into());
+                    }
+                    Int(x.wrapping_div(y))
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return Err("integer remainder by zero".into());
+                    }
+                    Int(x.wrapping_rem(y))
+                }
+                BinOp::Eq => Int((x == y) as i64),
+                BinOp::Ne => Int((x != y) as i64),
+                BinOp::Lt => Int((x < y) as i64),
+                BinOp::Le => Int((x <= y) as i64),
+                BinOp::Gt => Int((x > y) as i64),
+                BinOp::Ge => Int((x >= y) as i64),
+            };
+            Ok(v)
+        }
+        _ => {
+            let x = a.as_double()?;
+            let y = b.as_double()?;
+            let v = match op {
+                BinOp::Add => Double(x + y),
+                BinOp::Sub => Double(x - y),
+                BinOp::Mul => Double(x * y),
+                BinOp::Div => Double(x / y),
+                BinOp::Rem => Double(x % y),
+                BinOp::Eq => Int((x == y) as i64),
+                BinOp::Ne => Int((x != y) as i64),
+                BinOp::Lt => Int((x < y) as i64),
+                BinOp::Le => Int((x <= y) as i64),
+                BinOp::Gt => Int((x > y) as i64),
+                BinOp::Ge => Int((x >= y) as i64),
+            };
+            Ok(v)
+        }
+    }
+}
+
+fn eval_un(op: UnOp, a: Value) -> Result<Value, String> {
+    match op {
+        UnOp::Neg => match a {
+            Value::Int(v) => Ok(Value::Int(-v)),
+            Value::Double(v) => Ok(Value::Double(-v)),
+            other => Err(format!("negation of {other:?}")),
+        },
+        UnOp::Not => Ok(Value::Int(!a.truthy()? as i64)),
+    }
+}

@@ -1,0 +1,94 @@
+//! Communication and execution statistics.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Dynamic operation counts and timing collected during a run. The
+/// communication categories (`read_data`, `write_data`, `blkmov`) are the
+/// ones reported in the paper's Figure 10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Remote word reads issued (the paper's "read-data").
+    pub read_data: u64,
+    /// Remote word writes issued (the paper's "write-data").
+    pub write_data: u64,
+    /// Block moves issued, either direction (the paper's "blkmov").
+    pub blkmov: u64,
+    /// Words carried by block moves (for bandwidth accounting).
+    pub blkmov_words: u64,
+    /// Remote atomic operations on shared variables.
+    pub atomic_remote: u64,
+    /// Remote function invocations (`@OWNER_OF` / `@node` to another
+    /// node).
+    pub remote_calls: u64,
+    /// Threads spawned (parallel-sequence arms + forall iterations).
+    pub spawns: u64,
+    /// Local memory accesses.
+    pub local_mem: u64,
+    /// Bytecode operations executed.
+    pub ops: u64,
+    /// Total time threads spent stalled waiting for split-phase results.
+    pub stall_ns: u64,
+}
+
+impl Stats {
+    /// Total remote communication operations (Figure 10's metric).
+    pub fn total_comm(&self) -> u64 {
+        self.read_data + self.write_data + self.blkmov
+    }
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, o: Stats) {
+        self.read_data += o.read_data;
+        self.write_data += o.write_data;
+        self.blkmov += o.blkmov;
+        self.blkmov_words += o.blkmov_words;
+        self.atomic_remote += o.atomic_remote;
+        self.remote_calls += o.remote_calls;
+        self.spawns += o.spawns;
+        self.local_mem += o.local_mem;
+        self.ops += o.ops;
+        self.stall_ns += o.stall_ns;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read-data {} | write-data {} | blkmov {} ({} words) | remote-calls {} | atomics {} | spawns {} | ops {}",
+            self.read_data,
+            self.write_data,
+            self.blkmov,
+            self.blkmov_words,
+            self.remote_calls,
+            self.atomic_remote,
+            self.spawns,
+            self.ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_add() {
+        let mut a = Stats {
+            read_data: 2,
+            write_data: 3,
+            blkmov: 1,
+            ..Stats::default()
+        };
+        assert_eq!(a.total_comm(), 6);
+        let b = Stats {
+            read_data: 1,
+            ..Stats::default()
+        };
+        a += b;
+        assert_eq!(a.read_data, 3);
+        assert!(a.to_string().contains("read-data 3"));
+    }
+}

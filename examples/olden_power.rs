@@ -1,0 +1,39 @@
+//! Runs the Olden `power` benchmark across machine sizes, comparing the
+//! sequential, simple, and communication-optimized builds — one row of the
+//! paper's Table III.
+//!
+//! Run with: `cargo run --release --example olden_power`
+
+use earthc::earth_commopt::CommOptConfig;
+use earthc::earth_olden::{by_name, run, Build, Preset};
+
+fn main() {
+    let bench = by_name("power").expect("power is in the suite");
+    let seq = run(&bench, &Build::Sequential, Preset::Small, 1).expect("sequential");
+    println!("sequential C: {:.4}s\n", seq.time_ns as f64 / 1e9);
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10} {:>7}",
+        "procs", "simple(s)", "optimized(s)", "simple-SU", "opt-SU", "%impr"
+    );
+    for procs in [1u16, 2, 4, 8, 16] {
+        let simple = run(&bench, &Build::Simple, Preset::Small, procs).expect("simple");
+        let opt = run(
+            &bench,
+            &Build::Optimized(CommOptConfig::default()),
+            Preset::Small,
+            procs,
+        )
+        .expect("optimized");
+        assert_eq!(simple.ret, seq.ret);
+        assert_eq!(opt.ret, seq.ret);
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>10.2} {:>10.2} {:>7.2}",
+            procs,
+            simple.time_ns as f64 / 1e9,
+            opt.time_ns as f64 / 1e9,
+            seq.time_ns as f64 / simple.time_ns as f64,
+            seq.time_ns as f64 / opt.time_ns as f64,
+            100.0 * (simple.time_ns as f64 - opt.time_ns as f64) / simple.time_ns as f64,
+        );
+    }
+}

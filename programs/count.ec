@@ -1,0 +1,37 @@
+// The paper's Figure 1(a): counting occurrences of a node value in a
+// distributed list with a forall loop, a shared counter, and @OWNER_OF.
+//   earthcc run programs/count.ec --nodes 4 --arg 30
+struct node { node* next; int value; };
+
+int equal_node(node local *p, node *q) {
+    return p->value == q->value;
+}
+
+int count(node *head, node *x) {
+    shared int cnt;
+    node *p;
+    writeto(&cnt, 0);
+    forall (p = head; p != NULL; p = p->next) {
+        if (equal_node(p, x) @ OWNER_OF(p)) {
+            addto(&cnt, 1);
+        }
+    }
+    return valueof(&cnt);
+}
+
+int main(int n) {
+    node *head;
+    node *q;
+    node *x;
+    int i;
+    head = NULL;
+    for (i = 0; i < n; i = i + 1) {
+        q = malloc_on(i % num_nodes(), sizeof(node));
+        q->value = i % 5;
+        q->next = head;
+        head = q;
+    }
+    x = malloc(sizeof(node));
+    x->value = 2;
+    return count(head, x);
+}

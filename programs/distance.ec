@@ -1,0 +1,23 @@
+// The paper's Figure 3 example, runnable with:
+//   earthcc stats programs/distance.ec --nodes 2
+struct Point { double x; double y; };
+
+double distance(Point *p) {
+    double d;
+    d = sqrt(p->x * p->x + p->y * p->y);
+    return d;
+}
+
+double main() {
+    Point *p;
+    double acc;
+    int i;
+    acc = 0.0;
+    for (i = 0; i < 100; i = i + 1) {
+        p = malloc_on(i % num_nodes(), sizeof(Point));
+        p->x = i;
+        p->y = i + 1.0;
+        acc = acc + distance(p);
+    }
+    return acc;
+}

@@ -1,0 +1,48 @@
+// Parallel divide-and-conquer sum over a distributed binary tree.
+//   earthcc stats programs/treesum.ec --nodes 8 --arg 8
+struct T { T* left; T* right; int v; };
+
+T* build(int depth, int lo, int span) {
+    T *t;
+    int half;
+    t = malloc(sizeof(T));
+    t->v = depth;
+    if (depth == 0) {
+        t->left = NULL;
+        t->right = NULL;
+        return t;
+    }
+    half = span / 2;
+    if (half < 1) { half = 1; }
+    t->left = build_at(depth - 1, lo, half);
+    t->right = build_at(depth - 1, lo + half, half);
+    return t;
+}
+
+T* build_at(int depth, int lo, int span) {
+    int target;
+    target = lo % num_nodes();
+    return build(depth, lo, span) @ target;
+}
+
+int sum(T *t) {
+    int a;
+    int b;
+    if (t == NULL) { return 0; }
+    {^
+        a = sum_at(t->left);
+        b = sum_at(t->right);
+    ^}
+    return a + b + t->v;
+}
+
+int sum_at(T *t) {
+    if (t == NULL) { return 0; }
+    return sum(t) @ OWNER_OF(t);
+}
+
+int main(int depth) {
+    T *root;
+    root = build(depth, 0, num_nodes());
+    return sum(root);
+}

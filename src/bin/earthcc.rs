@@ -1,0 +1,190 @@
+//! `earthcc` — command-line driver for the EARTH-C pipeline.
+//!
+//! ```text
+//! earthcc run  prog.ec [--nodes N] [--no-opt] [--no-locality] [--arg V]...
+//! earthcc dump prog.ec [--simple | --optimized] [--func NAME]
+//! earthcc stats prog.ec [--nodes N] [--arg V]...   # simple vs optimized
+//! ```
+
+use earthc::earth_commopt::{optimize_program, CommOptConfig};
+use earthc::earth_ir::pretty;
+use earthc::{Pipeline, Value};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  earthcc run   <file.ec> [--nodes N] [--no-opt] [--no-locality] [--entry NAME] [--arg V]...\n  earthcc dump  <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats <file.ec> [--nodes N] [--entry NAME] [--arg V]..."
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    file: String,
+    nodes: u16,
+    optimize: bool,
+    locality: bool,
+    entry: String,
+    args: Vec<Value>,
+    func: Option<String>,
+    dump_optimized: bool,
+    dump_fibers: bool,
+}
+
+fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        file: String::new(),
+        nodes: 1,
+        optimize: true,
+        locality: true,
+        entry: "main".into(),
+        args: Vec::new(),
+        func: None,
+        dump_optimized: false,
+        dump_fibers: false,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                o.nodes = it
+                    .next()
+                    .ok_or("--nodes needs a value")?
+                    .parse()
+                    .map_err(|_| "--nodes needs an integer")?;
+            }
+            "--no-opt" => o.optimize = false,
+            "--no-locality" => o.locality = false,
+            "--optimized" => o.dump_optimized = true,
+            "--fibers" => o.dump_fibers = true,
+            "--entry" => o.entry = it.next().ok_or("--entry needs a value")?.clone(),
+            "--func" => o.func = Some(it.next().ok_or("--func needs a value")?.clone()),
+            "--arg" => {
+                let v = it.next().ok_or("--arg needs a value")?;
+                let val = if v.contains('.') {
+                    Value::Double(v.parse().map_err(|_| "bad double argument")?)
+                } else {
+                    Value::Int(v.parse().map_err(|_| "bad integer argument")?)
+                };
+                o.args.push(val);
+            }
+            other if !other.starts_with('-') && o.file.is_empty() => o.file = other.to_string(),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if o.file.is_empty() {
+        return Err("no input file".into());
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "run" => {
+            let pipeline = Pipeline::new()
+                .nodes(opts.nodes)
+                .optimizer(opts.optimize.then(CommOptConfig::default))
+                .locality(opts.locality)
+                .entry(opts.entry.clone());
+            match pipeline.run_source(&src, &opts.args) {
+                Ok(r) => {
+                    println!("result: {}", r.ret);
+                    println!("time:   {} ns", r.time_ns);
+                    println!("stats:  {}", r.stats);
+                    for line in &r.output {
+                        println!("output: {line}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "dump" => {
+            let mut prog = match earthc::compile_earth_c(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if opts.dump_optimized {
+                optimize_program(&mut prog, &CommOptConfig::default());
+            }
+            if opts.dump_fibers {
+                let analysis = earthc::earth_analysis::analyze(&prog);
+                for (fid, f) in prog.iter_functions() {
+                    if let Some(name) = &opts.func {
+                        if &f.name != name {
+                            continue;
+                        }
+                    }
+                    let report = earthc::earth_sim::build_ddg(f, analysis.function(fid));
+                    println!("{}", earthc::earth_sim::render_fibers(f, &report));
+                }
+                return ExitCode::SUCCESS;
+            }
+            match &opts.func {
+                Some(name) => match prog.function_by_name(name) {
+                    Some(id) => println!("{}", pretty::print_function_default(&prog, id)),
+                    None => {
+                        eprintln!("error: no function `{name}`");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => println!("{}", pretty::print_program(&prog)),
+            }
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            let run = |optimize: bool| {
+                Pipeline::new()
+                    .nodes(opts.nodes)
+                    .optimizer(optimize.then(CommOptConfig::default))
+                    .locality(opts.locality)
+                    .entry(opts.entry.clone())
+                    .run_source(&src, &opts.args)
+            };
+            match (run(false), run(true)) {
+                (Ok(simple), Ok(optimized)) => {
+                    assert_eq!(simple.ret, optimized.ret, "builds disagree");
+                    println!("result:    {}", simple.ret);
+                    println!("simple:    {:>12} ns | {}", simple.time_ns, simple.stats);
+                    println!("optimized: {:>12} ns | {}", optimized.time_ns, optimized.stats);
+                    println!(
+                        "improvement: {:.2}%  comm: {} -> {}",
+                        100.0 * (simple.time_ns as f64 - optimized.time_ns as f64)
+                            / simple.time_ns as f64,
+                        simple.stats.total_comm(),
+                        optimized.stats.total_comm()
+                    );
+                    ExitCode::SUCCESS
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

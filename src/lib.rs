@@ -1,0 +1,228 @@
+//! # earthc — reproduction of *Communication Optimizations for Parallel C Programs*
+//!
+//! A full reimplementation of the system described by Yingchun Zhu and
+//! Laurie J. Hendren (PLDI 1998): an optimizing compiler pipeline for the
+//! EARTH-C parallel dialect of C that reduces communication overhead for
+//! programs using dynamically-allocated data structures, evaluated on a
+//! simulator of the EARTH-MANNA distributed-memory multithreaded machine.
+//!
+//! This crate is the facade tying the workspace together:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`earth_frontend`] | EARTH-C subset → SIMPLE IR (three-address, ≤ 1 remote op/stmt) |
+//! | [`earth_ir`] | the SIMPLE intermediate representation |
+//! | [`earth_analysis`] | regions/connection, read-write sets, locality |
+//! | [`earth_commopt`] | **the paper**: possible-placement analysis + communication selection |
+//! | [`earth_sim`] | EARTH-MANNA discrete-event simulator (Table-I cost model) |
+//! | [`earth_olden`] | the five Olden benchmarks in EARTH-C |
+//!
+//! # Examples
+//!
+//! Compile, optimize, and run a program on a simulated 4-node machine:
+//!
+//! ```
+//! use earthc::{compile_earth_c, Pipeline};
+//!
+//! let result = Pipeline::new()
+//!     .nodes(4)
+//!     .run_source(r#"
+//!         struct Point { double x; double y; };
+//!         double main() {
+//!             Point *p;
+//!             p = malloc_on(1, sizeof(Point));
+//!             p->x = 3.0;
+//!             p->y = 4.0;
+//!             return sqrt(p->x * p->x + p->y * p->y);
+//!         }
+//!     "#, &[]).unwrap();
+//! assert_eq!(result.ret, earthc::Value::Double(5.0));
+//! # let _ = compile_earth_c;
+//! ```
+
+#![warn(missing_docs)]
+
+pub use earth_analysis;
+pub use earth_commopt;
+pub use earth_frontend;
+pub use earth_ir;
+pub use earth_olden;
+pub use earth_sim;
+
+pub use earth_commopt::{CommOptConfig, OptReport};
+pub use earth_frontend::FrontendError;
+pub use earth_ir::Program;
+pub use earth_sim::{CostModel, RunResult, SimError, Value};
+
+use std::fmt;
+
+/// Any failure in the end-to-end pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Lexing, parsing, or type checking failed.
+    Frontend(FrontendError),
+    /// Code generation or simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Frontend(e) => write!(f, "frontend: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<FrontendError> for PipelineError {
+    fn from(e: FrontendError) -> Self {
+        PipelineError::Frontend(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+/// Compiles EARTH-C source to SIMPLE IR (no optimization).
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] for any lexical, syntactic, or type error.
+pub fn compile_earth_c(src: &str) -> Result<Program, FrontendError> {
+    earth_frontend::compile(src)
+}
+
+/// End-to-end pipeline builder: frontend → (locality inference) →
+/// communication optimization → threaded-code generation → simulation.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    nodes: u16,
+    optimize: Option<CommOptConfig>,
+    infer_locality: bool,
+    inline: Option<earth_commopt::InlineConfig>,
+    reorder_fields: bool,
+    entry: String,
+    machine: earth_sim::MachineConfig,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with default settings: 1 node, full communication
+    /// optimization, locality inference on, entry point `main`.
+    pub fn new() -> Self {
+        Pipeline {
+            nodes: 1,
+            optimize: Some(CommOptConfig::default()),
+            infer_locality: true,
+            inline: None,
+            reorder_fields: false,
+            entry: "main".into(),
+            machine: earth_sim::MachineConfig::default(),
+        }
+    }
+
+    /// Sets the number of EARTH nodes.
+    pub fn nodes(mut self, n: u16) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Sets the communication-optimizer configuration (`None` = the
+    /// paper's unoptimized "simple" build).
+    pub fn optimizer(mut self, cfg: Option<CommOptConfig>) -> Self {
+        self.optimize = cfg;
+        self
+    }
+
+    /// Enables or disables locality inference.
+    pub fn locality(mut self, on: bool) -> Self {
+        self.infer_locality = on;
+        self
+    }
+
+    /// Enables local function inlining (the paper's Phase-I pass) with the
+    /// given configuration; off by default.
+    pub fn inlining(mut self, cfg: Option<earth_commopt::InlineConfig>) -> Self {
+        self.inline = cfg;
+        self
+    }
+
+    /// Enables struct field reordering (the paper's §7 extension: cluster
+    /// remotely-accessed fields so partial block moves shrink); off by
+    /// default.
+    pub fn field_reordering(mut self, on: bool) -> Self {
+        self.reorder_fields = on;
+        self
+    }
+
+    /// Sets the entry function (default `main`).
+    pub fn entry(mut self, name: impl Into<String>) -> Self {
+        self.entry = name.into();
+        self
+    }
+
+    /// Overrides the machine timing model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.machine.cost = cost;
+        self
+    }
+
+    /// Runs the pipeline over an already-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; see [`earth_sim::Machine::run`].
+    pub fn run_program(
+        &self,
+        mut prog: Program,
+        args: &[Value],
+    ) -> Result<RunResult, PipelineError> {
+        if let Some(icfg) = &self.inline {
+            earth_commopt::inline_functions(&mut prog, icfg);
+        }
+        if self.reorder_fields {
+            earth_commopt::reorder_fields(&mut prog);
+        }
+        if self.infer_locality {
+            earth_analysis::infer_locality(&mut prog);
+        }
+        if let Some(cfg) = &self.optimize {
+            earth_commopt::optimize_program(&mut prog, cfg);
+        }
+        let compiled = earth_sim::compile(&prog, earth_sim::CodegenOptions::default())
+            .map_err(|e| SimError {
+                time_ns: 0,
+                message: e.to_string(),
+            })?;
+        let entry = compiled
+            .function_by_name(&self.entry)
+            .ok_or_else(|| SimError {
+                time_ns: 0,
+                message: format!("no function named `{}`", self.entry),
+            })?;
+        let mut mc = self.machine.clone();
+        mc.n_nodes = self.nodes;
+        let mut m = earth_sim::Machine::new(mc);
+        Ok(m.run(&compiled, entry, args)?)
+    }
+
+    /// Compiles EARTH-C source and runs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend and simulator errors.
+    pub fn run_source(&self, src: &str, args: &[Value]) -> Result<RunResult, PipelineError> {
+        let prog = earth_frontend::compile(src)?;
+        self.run_program(prog, args)
+    }
+}

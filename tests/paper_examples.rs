@@ -1,0 +1,264 @@
+//! Golden tests for every worked example in the paper (Figures 1, 3, 4,
+//! 7, and 8). These pin the reproduction to the paper's own listings.
+
+use earthc::earth_analysis;
+use earthc::earth_commopt::{analyze_placement, optimize_program, CommOptConfig, FreqModel};
+use earthc::earth_ir::{pretty, StmtKind};
+use earthc::{Pipeline, Value};
+
+fn listing(prog: &earthc::Program, name: &str) -> String {
+    pretty::print_function(
+        prog,
+        prog.function_by_name(name).unwrap(),
+        &pretty::PrettyOptions {
+            show_labels: false,
+            ..Default::default()
+        },
+    )
+}
+
+/// Figure 1(a): the iterative `count` with a forall loop, shared counter,
+/// and an `@OWNER_OF` call — must compile and produce the right count.
+#[test]
+fn fig1a_count_iterative() {
+    let src = r#"
+        struct node { node* next; int value; };
+        int equal_node(node local *p, node *q) {
+            return p->value == q->value;
+        }
+        int count(node *head, node *x) {
+            shared int cnt;
+            node *p;
+            writeto(&cnt, 0);
+            forall (p = head; p != NULL; p = p->next) {
+                if (equal_node(p, x) @ OWNER_OF(p)) {
+                    addto(&cnt, 1);
+                }
+            }
+            return valueof(&cnt);
+        }
+        int main(int n) {
+            node *head;
+            node *q;
+            node *x;
+            int i;
+            head = NULL;
+            for (i = 0; i < n; i = i + 1) {
+                q = malloc_on(i % num_nodes(), sizeof(node));
+                q->value = i % 3;
+                q->next = head;
+                head = q;
+            }
+            x = malloc(sizeof(node));
+            x->value = 0;
+            return count(head, x);
+        }
+    "#;
+    for nodes in [1u16, 4] {
+        let r = Pipeline::new()
+            .nodes(nodes)
+            .run_source(src, &[Value::Int(9)])
+            .unwrap();
+        // values 0,1,2 repeating: three zeros among nine.
+        assert_eq!(r.ret, Value::Int(3), "{nodes} nodes");
+    }
+}
+
+/// Figure 1(b): the recursive `count_rec` with a parallel sequence.
+#[test]
+fn fig1b_count_recursive() {
+    let src = r#"
+        struct node { node* next; int value; };
+        int equal_node(node *p, node local *q) {
+            return p->value == q->value;
+        }
+        int count_rec(node *head, node *x) {
+            int c1;
+            int c2;
+            if (head != NULL) {
+                {^
+                    c1 = equal_node(head, x) @ OWNER_OF(x);
+                    c2 = count_rec(head->next, x);
+                ^}
+                return c1 + c2;
+            } else {
+                return 0;
+            }
+        }
+        int main(int n) {
+            node *head;
+            node *q;
+            node *x;
+            int i;
+            head = NULL;
+            for (i = 0; i < n; i = i + 1) {
+                q = malloc_on(i % num_nodes(), sizeof(node));
+                q->value = i % 3;
+                q->next = head;
+                head = q;
+            }
+            x = malloc_on(num_nodes() - 1, sizeof(node));
+            x->value = 1;
+            return count_rec(head, x);
+        }
+    "#;
+    let r = Pipeline::new()
+        .nodes(3)
+        .run_source(src, &[Value::Int(9)])
+        .unwrap();
+    assert_eq!(r.ret, Value::Int(3));
+    assert!(r.stats.remote_calls > 0, "equal_node runs at OWNER_OF(x)");
+}
+
+const DISTANCE: &str = r#"
+    struct Point { double x; double y; };
+    double distance(Point *p) {
+        double d;
+        d = sqrt(p->x * p->x + p->y * p->y);
+        return d;
+    }
+"#;
+
+/// Figure 3: the four remote reads of `distance` become two pipelined
+/// reads placed at the top of the function.
+#[test]
+fn fig3_distance_golden() {
+    let mut prog = earthc::compile_earth_c(DISTANCE).unwrap();
+    // (b): simplification produced four remote reads.
+    let f = prog.function(prog.function_by_name("distance").unwrap());
+    assert_eq!(
+        f.basic_stmts()
+            .iter()
+            .filter(|(_, b)| b.deref_access().is_some())
+            .count(),
+        4
+    );
+    optimize_program(&mut prog, &CommOptConfig::default());
+    let text = listing(&prog, "distance");
+    // (c): two comm reads, each original load now uses a temp.
+    assert!(text.contains("comm1 = p~>x"), "{text}");
+    assert!(text.contains("comm2 = p~>y"), "{text}");
+    assert_eq!(text.matches("~>").count(), 2, "{text}");
+}
+
+/// Figure 4: scale_point's reads move up, writes move down, and the whole
+/// struct is blocked: one blkmov in, local computation, one blkmov out.
+#[test]
+fn fig4_scale_point_golden() {
+    let src = r#"
+        struct Point { double x; double y; };
+        double scale(double v, double k) { return v * k; }
+        void scale_point(Point *p, double k) {
+            p->x = scale(p->x, k);
+            p->y = scale(p->y, k);
+        }
+    "#;
+    let mut prog = earthc::compile_earth_c(src).unwrap();
+    optimize_program(&mut prog, &CommOptConfig::default());
+    let text = listing(&prog, "scale_point");
+    let read = text.find("blkmov(p, &bcomm1, sizeof(*p));").expect(&text);
+    let write = text.find("blkmov(&bcomm1, p, sizeof(*p));").expect(&text);
+    assert!(read < write);
+    // All field traffic goes through the local buffer.
+    assert!(text.contains("bcomm1.x"), "{text}");
+    assert!(text.contains("bcomm1.y"), "{text}");
+    assert_eq!(text.matches("~>").count(), 0, "{text}");
+}
+
+const CLOSEST: &str = r#"
+    struct Point { Point* next; double x; double y; };
+    double f(double ax, double ay, double bx, double by) {
+        return (ax - bx) * (ax - bx) + (ay - by) * (ay - by);
+    }
+    double closest(Point *head, Point *t, double epsilon) {
+        Point *p;
+        Point *close;
+        double ax; double ay; double bx; double by;
+        double dist; double cx; double tx; double diffx;
+        double cy; double ty; double diffy;
+        close = head;
+        p = head;
+        while (p != NULL) {
+            ax = p->x;
+            ay = p->y;
+            bx = t->x;
+            by = t->y;
+            dist = f(ax, ay, bx, by);
+            if (dist < epsilon) { close = p; }
+            p = p->next;
+        }
+        cx = close->x;
+        tx = t->x;
+        diffx = cx - tx;
+        cy = close->y;
+        ty = t->y;
+        diffy = cy - ty;
+        return diffx * diffx + diffy * diffy;
+    }
+"#;
+
+/// Figure 7: RemoteReads propagation for the closest-point loop. At the
+/// top of the function the `t` tuples carry frequency 11 (1 use after the
+/// loop + 10 for the loop) and cover both the in-loop and post-loop
+/// accesses; the `p` and `close` tuples are killed by the loop's writes.
+#[test]
+fn fig7_remote_read_sets() {
+    let prog = earthc::compile_earth_c(CLOSEST).unwrap();
+    let fid = prog.function_by_name("closest").unwrap();
+    let f = prog.function(fid);
+    let analysis = earth_analysis::analyze(&prog);
+    let placement = analyze_placement(f, analysis.function(fid), &FreqModel::default());
+
+    let first_label = match &f.body.kind {
+        StmtKind::Seq(ss) => ss[0].label,
+        _ => panic!(),
+    };
+    let set = &placement.reads_before[&first_label];
+    let t = f.var_by_name("t").unwrap();
+    let p = f.var_by_name("p").unwrap();
+    let close = f.var_by_name("close").unwrap();
+    let sid = prog.struct_by_name("Point").unwrap();
+    let fx = prog.struct_def(sid).field_by_name("x").unwrap();
+    let fy = prog.struct_def(sid).field_by_name("y").unwrap();
+
+    // The paper's S1 set: {(t->x, 11, S11:S4), (t->y, 11, S12:S7)}.
+    let tx = set.get(t, fx).expect("t->x tuple at function top");
+    assert_eq!(tx.freq, 11.0);
+    assert_eq!(tx.labels.len(), 2, "loop read + post-loop read");
+    let ty = set.get(t, fy).expect("t->y tuple at function top");
+    assert_eq!(ty.freq, 11.0);
+    // p and close are written by the loop: their tuples do not reach S1.
+    assert!(set.get(p, fx).is_none());
+    assert!(set.get(close, fx).is_none());
+
+    // Inside the loop body, the per-iteration set before the first body
+    // statement contains the p tuples (frequency 1 each).
+    let mut body_first = None;
+    f.body.walk(&mut |s| {
+        if let StmtKind::While { body, .. } = &s.kind {
+            if let StmtKind::Seq(ss) = &body.kind {
+                body_first = Some(ss[0].label);
+            }
+        }
+    });
+    let body_set = &placement.reads_before[&body_first.unwrap()];
+    assert!(body_set.get(p, fx).is_some());
+    assert_eq!(body_set.get(p, fx).unwrap().freq, 1.0);
+}
+
+/// Figure 8: communication selection on the same program — t's reads are
+/// pipelined above the loop, p's three fields are blocked in the body.
+#[test]
+fn fig8_selection_golden() {
+    let mut prog = earthc::compile_earth_c(CLOSEST).unwrap();
+    optimize_program(&mut prog, &CommOptConfig::default());
+    let text = listing(&prog, "closest");
+    let loop_pos = text.find("while").unwrap();
+    assert!(text.find("comm1 = t~>x").unwrap() < loop_pos, "{text}");
+    assert!(text.find("comm2 = t~>y").unwrap() < loop_pos, "{text}");
+    assert!(text.contains("blkmov(p, &bcomm1, sizeof(*p));"), "{text}");
+    assert!(text.contains("p = bcomm1.next"), "{text}");
+    // The post-loop reads of t reuse the hoisted temps.
+    let after = &text[loop_pos..];
+    assert!(!after.contains("t~>"), "{text}");
+}

@@ -20,8 +20,7 @@
 
 use crate::uf::UnionFind;
 use earth_ir::{
-    Basic, FieldId, Function, MemRef, Operand, Place, Program, Rvalue,
-    StmtKind, VarId,
+    Basic, FieldId, Function, MemRef, Operand, Place, Program, Rvalue, StmtKind, VarId,
 };
 use std::collections::BTreeSet;
 
@@ -197,70 +196,65 @@ fn analyze_function(prog: &Program, f: &Function, summaries: &[Summary]) -> (Sum
     for i in 0..f.params.len() {
         for j in (i + 1)..f.params.len() {
             let (pi, pj) = (f.params[i], f.params[j]);
-            if f.var(pi).ty.is_ptr()
-                && f.var(pj).ty.is_ptr()
-                && uf.same(pi.index(), pj.index())
-            {
+            if f.var(pi).ty.is_ptr() && f.var(pj).ty.is_ptr() && uf.same(pi.index(), pj.index()) {
                 summary.merges.insert((i, j));
             }
         }
     }
 
-    let record = |summary: &mut Summary, uf: &mut UnionFind, base: VarId, field: FieldKey, write: bool| {
-        for root in roots_of(uf, base) {
-            if write {
-                summary.writes.insert((root, field));
-            } else {
-                summary.reads.insert((root, field));
+    let record =
+        |summary: &mut Summary, uf: &mut UnionFind, base: VarId, field: FieldKey, write: bool| {
+            for root in roots_of(uf, base) {
+                if write {
+                    summary.writes.insert((root, field));
+                } else {
+                    summary.reads.insert((root, field));
+                }
             }
-        }
-    };
+        };
 
     f.body.walk(&mut |s| {
-        let mut handle = |b: &Basic| {
-            match b {
-                Basic::Assign { dst, src } => {
-                    if let Place::Mem(MemRef::Deref { base, field }) = dst {
-                        record(&mut summary, &mut uf, *base, Some(*field), true);
-                    }
-                    if let Rvalue::Load(MemRef::Deref { base, field }) = src {
-                        record(&mut summary, &mut uf, *base, Some(*field), false);
-                    }
+        let mut handle = |b: &Basic| match b {
+            Basic::Assign { dst, src } => {
+                if let Place::Mem(MemRef::Deref { base, field }) = dst {
+                    record(&mut summary, &mut uf, *base, Some(*field), true);
                 }
-                Basic::BlkMov { dir, ptr, .. } => {
-                    let write = matches!(dir, earth_ir::BlkDir::LocalToRemote);
-                    record(&mut summary, &mut uf, *ptr, None, write);
+                if let Rvalue::Load(MemRef::Deref { base, field }) = src {
+                    record(&mut summary, &mut uf, *base, Some(*field), false);
                 }
-                Basic::Call { func, args, .. } => {
-                    let callee_sum = &summaries[func.index()];
-                    let callee = prog.function(*func);
-                    for &(root, field) in &callee_sum.reads {
-                        if let Root::Param(i) = root {
-                            if let Some(Operand::Var(a)) = args.get(i).copied() {
-                                if callee.var(callee.params[i]).ty.is_ptr() {
-                                    record(&mut summary, &mut uf, a, field, false);
-                                }
-                            }
-                        }
-                    }
-                    for &(root, field) in &callee_sum.writes {
-                        if let Root::Param(i) = root {
-                            if let Some(Operand::Var(a)) = args.get(i).copied() {
-                                if callee.var(callee.params[i]).ty.is_ptr() {
-                                    record(&mut summary, &mut uf, a, field, true);
-                                }
-                            }
-                        }
-                    }
-                }
-                Basic::Return(Some(Operand::Var(v)))
-                    if f.var(*v).ty.is_ptr() => {
-                        for root in roots_of(&mut uf, *v) {
-                            summary.ret_roots.insert(root);
-                        }
-                    }
-                _ => {}
             }
+            Basic::BlkMov { dir, ptr, .. } => {
+                let write = matches!(dir, earth_ir::BlkDir::LocalToRemote);
+                record(&mut summary, &mut uf, *ptr, None, write);
+            }
+            Basic::Call { func, args, .. } => {
+                let callee_sum = &summaries[func.index()];
+                let callee = prog.function(*func);
+                for &(root, field) in &callee_sum.reads {
+                    if let Root::Param(i) = root {
+                        if let Some(Operand::Var(a)) = args.get(i).copied() {
+                            if callee.var(callee.params[i]).ty.is_ptr() {
+                                record(&mut summary, &mut uf, a, field, false);
+                            }
+                        }
+                    }
+                }
+                for &(root, field) in &callee_sum.writes {
+                    if let Root::Param(i) = root {
+                        if let Some(Operand::Var(a)) = args.get(i).copied() {
+                            if callee.var(callee.params[i]).ty.is_ptr() {
+                                record(&mut summary, &mut uf, a, field, true);
+                            }
+                        }
+                    }
+                }
+            }
+            Basic::Return(Some(Operand::Var(v))) if f.var(*v).ty.is_ptr() => {
+                for root in roots_of(&mut uf, *v) {
+                    summary.ret_roots.insert(root);
+                }
+            }
+            _ => {}
         };
         match &s.kind {
             StmtKind::Basic(b) => handle(b),
@@ -311,7 +305,12 @@ fn unify_basic(
                 _ => {}
             }
         }
-        Basic::Call { dst, func, args, at } => {
+        Basic::Call {
+            dst,
+            func,
+            args,
+            at,
+        } => {
             let callee_sum = &summaries[func.index()];
             let callee = prog.function(*func);
             // Parameter-region merges performed by the callee.

@@ -214,6 +214,102 @@ mod tests {
     }
 
     #[test]
+    fn connection_survives_copies_and_cycles() {
+        // Traversal cursors, copy chains, and even a self-referential store
+        // all land in the head's connection class; a freshly-malloc'd
+        // structure stays separate until a store links it.
+        let prog = compile(
+            r#"
+            struct node { node* next; int v; };
+            void f(node *a) {
+                node *b;
+                node *c;
+                node *d;
+                b = a;
+                c = b->next;
+                d = malloc(sizeof(node));
+                d->next = d;
+                while (c != NULL) {
+                    c = c->next;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let analysis = analyze(&prog);
+        let fid = prog.function_by_name("f").unwrap();
+        let f = prog.function(fid);
+        let r = &analysis.function(fid).regions;
+        let v = |n: &str| f.var_by_name(n).unwrap();
+        assert!(r.connected(v("a"), v("b")));
+        assert!(r.connected(v("a"), v("c")));
+        // The cyclic store d->next = d merges d with itself — harmless —
+        // and must not leak into a's region.
+        assert!(!r.connected(v("a"), v("d")));
+    }
+
+    #[test]
+    fn store_links_regions() {
+        // `p->next = q` makes q's structure reachable from p: one region.
+        let prog = compile(
+            r#"
+            struct node { node* next; int v; };
+            void link(node *p, node *q) {
+                p->next = q;
+            }
+        "#,
+        )
+        .unwrap();
+        let analysis = analyze(&prog);
+        let fid = prog.function_by_name("link").unwrap();
+        let f = prog.function(fid);
+        let r = &analysis.function(fid).regions;
+        assert!(r.connected(f.var_by_name("p").unwrap(), f.var_by_name("q").unwrap()));
+    }
+
+    #[test]
+    fn rw_sets_kill_queries_are_field_sensitive() {
+        // A store to one field must not register as a conflicting write for
+        // a disjoint field of the same region — the placement analysis
+        // relies on this to hoist reads of untouched fields across stores.
+        let prog = compile(
+            r#"
+            struct node { node* next; double x; double y; };
+            void f(node *p) {
+                node *q;
+                q = p;
+                q->x = 1.0;
+                q->next = q;
+            }
+        "#,
+        )
+        .unwrap();
+        let analysis = analyze(&prog);
+        let fid = prog.function_by_name("f").unwrap();
+        let f = prog.function(fid);
+        let fa = analysis.function(fid);
+        let p = f.var_by_name("p").unwrap();
+        let q = f.var_by_name("q").unwrap();
+        let stmts = f.basic_stmts();
+        let (copy_label, _) = stmts[0]; // q = p
+        let (store_x, _) = stmts[1]; // q->x = 1.0
+        let (store_next, _) = stmts[2]; // q->next = q
+                                        // The copy writes q (a kill for motions based on q) but performs no
+                                        // heap access at all.
+        assert!(fa.var_written(q, copy_label));
+        assert!(!fa.var_written(p, copy_label));
+        assert!(!fa.heap_conflict(p, None, copy_label, AccessKind::ReadOrWrite));
+        // Aliased store to x kills x-reads but not y-reads (field kill);
+        // the next-store kills next but neither double field.
+        assert!(fa.heap_conflict(p, Some(FieldId(1)), store_x, AccessKind::Write));
+        assert!(!fa.heap_conflict(p, Some(FieldId(2)), store_x, AccessKind::Write));
+        assert!(fa.heap_conflict(p, Some(FieldId(0)), store_next, AccessKind::Write));
+        assert!(!fa.heap_conflict(p, Some(FieldId(1)), store_next, AccessKind::Write));
+        // Both stores answer the whole-struct (blocking) query.
+        assert!(fa.heap_conflict(p, None, store_x, AccessKind::Write));
+    }
+
+    #[test]
     fn scalar_call_has_no_heap_conflicts() {
         let prog = compile(
             r#"

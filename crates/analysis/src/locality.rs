@@ -112,25 +112,23 @@ pub fn infer_locality(prog: &mut Program) -> LocalityReport {
             // Collect candidate vars: non-param pointers not yet local.
             let mut defs: HashMap<VarId, Vec<DefKind>> = HashMap::new();
             f.body.walk(&mut |s| {
-                let mut record = |b: &Basic| {
-                    match b {
-                        Basic::Assign {
-                            dst: Place::Var(d),
-                            src,
-                        } if f.var(*d).ty.is_ptr() => {
-                            let kind = match src {
-                                Rvalue::Use(Operand::Var(q)) => DefKind::Copy(*q),
-                                Rvalue::Use(Operand::Const(_)) => DefKind::NullOrConst,
-                                Rvalue::Malloc { on: None, .. } => DefKind::LocalMalloc,
-                                _ => DefKind::Other,
-                            };
-                            defs.entry(*d).or_default().push(kind);
-                        }
-                        Basic::Call { dst: Some(d), .. } if f.var(*d).ty.is_ptr() => {
-                            defs.entry(*d).or_default().push(DefKind::Other);
-                        }
-                        _ => {}
+                let mut record = |b: &Basic| match b {
+                    Basic::Assign {
+                        dst: Place::Var(d),
+                        src,
+                    } if f.var(*d).ty.is_ptr() => {
+                        let kind = match src {
+                            Rvalue::Use(Operand::Var(q)) => DefKind::Copy(*q),
+                            Rvalue::Use(Operand::Const(_)) => DefKind::NullOrConst,
+                            Rvalue::Malloc { on: None, .. } => DefKind::LocalMalloc,
+                            _ => DefKind::Other,
+                        };
+                        defs.entry(*d).or_default().push(kind);
                     }
+                    Basic::Call { dst: Some(d), .. } if f.var(*d).ty.is_ptr() => {
+                        defs.entry(*d).or_default().push(DefKind::Other);
+                    }
+                    _ => {}
                 };
                 match &s.kind {
                     StmtKind::Basic(b) => record(b),

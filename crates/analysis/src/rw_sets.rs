@@ -10,8 +10,7 @@
 
 use crate::effects::{Root, Summary};
 use earth_ir::{
-    Basic, Cond, FieldId, Function, Label, Operand, Place, Program, Rvalue, Stmt,
-    StmtKind, VarId,
+    Basic, Cond, FieldId, Function, Label, Operand, Place, Program, Rvalue, Stmt, StmtKind, VarId,
 };
 use std::collections::BTreeSet;
 
@@ -212,7 +211,12 @@ fn basic_rw(prog: &Program, f: &Function, summaries: &[Summary], b: &Basic, rw: 
                 _ => {}
             }
         }
-        Basic::Call { dst, func, args, at } => {
+        Basic::Call {
+            dst,
+            func,
+            args,
+            at,
+        } => {
             if let Some(d) = dst {
                 rw.vars_written.insert(*d);
             }
@@ -221,24 +225,22 @@ fn basic_rw(prog: &Program, f: &Function, summaries: &[Summary], b: &Basic, rw: 
             }
             let callee = prog.function(*func);
             let sum = &summaries[func.index()];
-            let map_effects =
-                |effects: &BTreeSet<(Root, Option<FieldId>)>, out: &mut BTreeSet<HeapAccess>| {
-                    for &(root, field) in effects {
-                        if let Root::Param(i) = root {
-                            if let Some(Operand::Var(a)) = args.get(i).copied() {
-                                if callee.var(callee.params[i]).ty.is_ptr()
-                                    && f.var(a).ty.is_ptr()
-                                {
-                                    out.insert(HeapAccess {
-                                        base: a,
-                                        field,
-                                        direct: false,
-                                    });
-                                }
+            let map_effects = |effects: &BTreeSet<(Root, Option<FieldId>)>,
+                               out: &mut BTreeSet<HeapAccess>| {
+                for &(root, field) in effects {
+                    if let Root::Param(i) = root {
+                        if let Some(Operand::Var(a)) = args.get(i).copied() {
+                            if callee.var(callee.params[i]).ty.is_ptr() && f.var(a).ty.is_ptr() {
+                                out.insert(HeapAccess {
+                                    base: a,
+                                    field,
+                                    direct: false,
+                                });
                             }
                         }
                     }
-                };
+                }
+            };
             map_effects(&sum.reads, &mut rw.heap_reads);
             map_effects(&sum.writes, &mut rw.heap_writes);
         }
@@ -304,7 +306,11 @@ mod tests {
         // t = p->v
         let (l0, _) = stmts[0];
         assert!(sets.var_written(t, l0));
-        assert!(sets.get(l0).heap_reads.iter().any(|h| h.base == p && h.direct));
+        assert!(sets
+            .get(l0)
+            .heap_reads
+            .iter()
+            .any(|h| h.base == p && h.direct));
         // p->v = t
         let (l1, _) = stmts[1];
         assert!(sets.get(l1).heap_writes.iter().any(|h| h.base == p));

@@ -1,21 +1,20 @@
-//! Criterion bench for the Table I microkernels: measures the host-side
-//! cost of simulating each communication pattern and reports the derived
-//! virtual per-operation costs as custom output.
+//! Bench for the Table I microkernels: measures the host-side cost of
+//! simulating each communication pattern and reports the derived virtual
+//! per-operation costs. Plain timing harness (no external bench framework;
+//! the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     // Validate once (panics if the derived costs drift from Table I).
     let rows = earth_bench::table1::measure();
     println!("\n{}", earth_bench::table1::render(&rows));
 
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
-    g.bench_function("microkernels", |b| {
-        b.iter(|| std::hint::black_box(earth_bench::table1::measure()))
-    });
-    g.finish();
+    const ITERS: u32 = 10;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(earth_bench::table1::measure());
+    }
+    let per_iter = start.elapsed() / ITERS;
+    println!("table1/microkernels: {per_iter:?} per iteration ({ITERS} iterations)");
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -1,40 +1,37 @@
-//! Criterion bench over the Olden suite: simulates every benchmark in the
-//! simple and optimized builds on an 8-node machine (Test preset so the
-//! bench loop stays fast) — the substrate of Figure 10 and Table III.
+//! Bench over the Olden suite: simulates every benchmark in the simple and
+//! optimized builds on an 8-node machine (Test preset so the bench loop
+//! stays fast) — the substrate of Figure 10 and Table III. Plain timing
+//! harness (no external bench framework; the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use earth_commopt::CommOptConfig;
 use earth_olden::{run, suite, Build, Preset};
+use std::time::Instant;
 
-fn bench_olden(c: &mut Criterion) {
-    let mut g = c.benchmark_group("olden");
-    g.sample_size(10);
-    for bench in suite() {
-        g.bench_with_input(
-            BenchmarkId::new("simple", bench.name),
-            &bench,
-            |b, bench| {
-                b.iter(|| run(bench, &Build::Simple, Preset::Test, 8).expect("runs"))
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("optimized", bench.name),
-            &bench,
-            |b, bench| {
-                b.iter(|| {
-                    run(
-                        bench,
-                        &Build::Optimized(CommOptConfig::default()),
-                        Preset::Test,
-                        8,
-                    )
-                    .expect("runs")
-                })
-            },
-        );
+fn time<F: FnMut()>(label: &str, mut f: F) {
+    const ITERS: u32 = 10;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        f();
     }
-    g.finish();
+    let per_iter = start.elapsed() / ITERS;
+    println!("{label}: {per_iter:?} per iteration ({ITERS} iterations)");
 }
 
-criterion_group!(benches, bench_olden);
-criterion_main!(benches);
+fn main() {
+    for bench in suite() {
+        time(&format!("olden/simple/{}", bench.name), || {
+            std::hint::black_box(run(&bench, &Build::Simple, Preset::Test, 8).expect("runs"));
+        });
+        time(&format!("olden/optimized/{}", bench.name), || {
+            std::hint::black_box(
+                run(
+                    &bench,
+                    &Build::Optimized(CommOptConfig::default()),
+                    Preset::Test,
+                    8,
+                )
+                .expect("runs"),
+            );
+        });
+    }
+}

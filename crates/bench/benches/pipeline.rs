@@ -1,37 +1,33 @@
-//! Criterion bench of the compiler itself: frontend, analyses, and the
-//! communication optimizer over the largest benchmark sources.
+//! Bench of the compiler itself: frontend, analyses, and the communication
+//! optimizer over the largest benchmark sources. Plain timing harness (no
+//! external bench framework; the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use earth_commopt::{optimize_program, CommOptConfig};
 use earth_olden::suite;
+use std::time::Instant;
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
-    for bench in suite() {
-        g.bench_with_input(
-            BenchmarkId::new("frontend", bench.name),
-            &bench.source,
-            |b, src| b.iter(|| earth_frontend::compile(src).expect("compiles")),
-        );
-        let prog = earth_frontend::compile(bench.source).expect("compiles");
-        g.bench_with_input(
-            BenchmarkId::new("analysis", bench.name),
-            &prog,
-            |b, prog| b.iter(|| earth_analysis::analyze(prog)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("optimize", bench.name),
-            &prog,
-            |b, prog| {
-                b.iter(|| {
-                    let mut p = prog.clone();
-                    optimize_program(&mut p, &CommOptConfig::default())
-                })
-            },
-        );
+fn time<F: FnMut()>(label: &str, mut f: F) {
+    const ITERS: u32 = 50;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        f();
     }
-    g.finish();
+    let per_iter = start.elapsed() / ITERS;
+    println!("{label}: {per_iter:?} per iteration ({ITERS} iterations)");
 }
 
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    for bench in suite() {
+        time(&format!("pipeline/frontend/{}", bench.name), || {
+            std::hint::black_box(earth_frontend::compile(bench.source).expect("compiles"));
+        });
+        let prog = earth_frontend::compile(bench.source).expect("compiles");
+        time(&format!("pipeline/analysis/{}", bench.name), || {
+            std::hint::black_box(earth_analysis::analyze(&prog));
+        });
+        time(&format!("pipeline/optimize/{}", bench.name), || {
+            let mut p = prog.clone();
+            std::hint::black_box(optimize_program(&mut p, &CommOptConfig::default()));
+        });
+    }
+}

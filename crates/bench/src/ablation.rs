@@ -124,10 +124,7 @@ pub fn run_variants(
 
 /// Renders variant results as a table.
 pub fn render_variants(bench: &str, results: &[VariantResult]) -> String {
-    let base = results
-        .first()
-        .map(|r| r.time_ns as f64)
-        .unwrap_or(1.0);
+    let base = results.first().map(|r| r.time_ns as f64).unwrap_or(1.0);
     let data: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -145,7 +142,14 @@ pub fn render_variants(bench: &str, results: &[VariantResult]) -> String {
         .collect();
     crate::render::table(
         &[
-            "benchmark", "variant", "time(s)", "rel-speed", "comm", "rd", "wr", "blk",
+            "benchmark",
+            "variant",
+            "time(s)",
+            "rel-speed",
+            "comm",
+            "rd",
+            "wr",
+            "blk",
         ],
         &data,
     )

@@ -42,8 +42,7 @@ fn main() {
             earth_bench::render::secs(r_layout.time_ns),
             format!(
                 "{:+.2}",
-                100.0 * (r_plain.time_ns as f64 - r_layout.time_ns as f64)
-                    / r_plain.time_ns as f64
+                100.0 * (r_plain.time_ns as f64 - r_layout.time_ns as f64) / r_plain.time_ns as f64
             ),
         ]);
     }

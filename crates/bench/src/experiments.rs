@@ -81,9 +81,7 @@ pub fn figure10_one(bench: &Benchmark, preset: Preset, n_nodes: u16) -> Fig10Row
 pub fn render_figure10(rows: &[Fig10Row]) -> String {
     let mut data = Vec::new();
     for r in rows {
-        let n = |v: u64| -> String {
-            format!("{:.1}", 100.0 * v as f64 / r.simple.total() as f64)
-        };
+        let n = |v: u64| -> String { format!("{:.1}", 100.0 * v as f64 / r.simple.total() as f64) };
         data.push(vec![
             r.bench.to_string(),
             format!("{:.3}M", r.simple.total() as f64 / 1e6),

@@ -186,7 +186,11 @@ mod tests {
         let close = |a: f64, b: f64| (a - b).abs() / b < 0.15;
         assert!(close(read.sequential_ns, 7109.0), "{}", read.sequential_ns);
         assert!(close(read.pipelined_ns, 1908.0), "{}", read.pipelined_ns);
-        assert!(close(write.sequential_ns, 6458.0), "{}", write.sequential_ns);
+        assert!(
+            close(write.sequential_ns, 6458.0),
+            "{}",
+            write.sequential_ns
+        );
         assert!(close(write.pipelined_ns, 1749.0), "{}", write.pipelined_ns);
         assert!(close(blk.sequential_ns, 9700.0), "{}", blk.sequential_ns);
         assert!(close(blk.pipelined_ns, 2602.0), "{}", blk.pipelined_ns);

@@ -351,19 +351,16 @@ fn clone_renamed(func: &mut Function, s: &Stmt, map: &HashMap<VarId, VarId>) -> 
             field,
         },
     };
-    let rn_cond = |c: &Cond| Cond::new(c.op, rename_operand(c.lhs, map), rename_operand(c.rhs, map));
+    let rn_cond =
+        |c: &Cond| Cond::new(c.op, rename_operand(c.lhs, map), rename_operand(c.rhs, map));
     let label = func.fresh_label();
     let kind = match &s.kind {
-        StmtKind::Seq(ss) => StmtKind::Seq(
-            ss.iter()
-                .map(|c| clone_renamed(func, c, map))
-                .collect(),
-        ),
-        StmtKind::ParSeq(ss) => StmtKind::ParSeq(
-            ss.iter()
-                .map(|c| clone_renamed(func, c, map))
-                .collect(),
-        ),
+        StmtKind::Seq(ss) => {
+            StmtKind::Seq(ss.iter().map(|c| clone_renamed(func, c, map)).collect())
+        }
+        StmtKind::ParSeq(ss) => {
+            StmtKind::ParSeq(ss.iter().map(|c| clone_renamed(func, c, map)).collect())
+        }
         StmtKind::Basic(b) => {
             let nb = match b {
                 Basic::Assign { dst, src } => Basic::Assign {
@@ -374,11 +371,9 @@ fn clone_renamed(func: &mut Function, s: &Stmt, map: &HashMap<VarId, VarId>) -> 
                     src: match src {
                         Rvalue::Use(o) => Rvalue::Use(rename_operand(*o, map)),
                         Rvalue::Unary(op, a) => Rvalue::Unary(*op, rename_operand(*a, map)),
-                        Rvalue::Binary(op, a, b) => Rvalue::Binary(
-                            *op,
-                            rename_operand(*a, map),
-                            rename_operand(*b, map),
-                        ),
+                        Rvalue::Binary(op, a, b) => {
+                            Rvalue::Binary(*op, rename_operand(*a, map), rename_operand(*b, map))
+                        }
                         Rvalue::Load(m) => Rvalue::Load(rn_mem(*m)),
                         Rvalue::Malloc { struct_id, on } => Rvalue::Malloc {
                             struct_id: *struct_id,
@@ -406,7 +401,12 @@ fn clone_renamed(func: &mut Function, s: &Stmt, map: &HashMap<VarId, VarId>) -> 
                     }),
                 },
                 Basic::Return(o) => Basic::Return(o.map(|o| rename_operand(o, map))),
-                Basic::BlkMov { dir, ptr, buf, range } => Basic::BlkMov {
+                Basic::BlkMov {
+                    dir,
+                    ptr,
+                    buf,
+                    range,
+                } => Basic::BlkMov {
                     dir: *dir,
                     ptr: rename_var(*ptr, map),
                     buf: rename_var(*buf, map),
@@ -575,8 +575,7 @@ mod tests {
         "#;
         let mut prog = compile(src).unwrap();
         inline_functions(&mut prog, &InlineConfig::default());
-        let report =
-            crate::optimize_program(&mut prog, &crate::CommOptConfig::default());
+        let report = crate::optimize_program(&mut prog, &crate::CommOptConfig::default());
         // Blocking still fires after inlining, without the call boundary.
         assert_eq!(report.total().blocked_spans, 1);
         let f = prog.function(prog.function_by_name("scale_point").unwrap());

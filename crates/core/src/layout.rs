@@ -75,10 +75,7 @@ pub fn reorder_fields(prog: &mut Program) -> LayoutReport {
         // Remote fields first by descending score; stable for ties and for
         // untouched fields (original order preserved).
         order.sort_by_key(|&i| {
-            let s = score
-                .get(&(sid, FieldId(i as u32)))
-                .copied()
-                .unwrap_or(0);
+            let s = score.get(&(sid, FieldId(i as u32))).copied().unwrap_or(0);
             (std::cmp::Reverse(s), i)
         });
         // perm[old] = new
@@ -115,12 +112,7 @@ pub fn reorder_fields(prog: &mut Program) -> LayoutReport {
     report
 }
 
-fn score_stmt(
-    f: &Function,
-    s: &Stmt,
-    weight: u64,
-    score: &mut HashMap<(StructId, FieldId), u64>,
-) {
+fn score_stmt(f: &Function, s: &Stmt, weight: u64, score: &mut HashMap<(StructId, FieldId), u64>) {
     match &s.kind {
         StmtKind::Seq(ss) | StmtKind::ParSeq(ss) => {
             for c in ss {
@@ -146,13 +138,7 @@ fn score_stmt(
                 }
             }
             assert!(
-                !matches!(
-                    b,
-                    Basic::BlkMov {
-                        range: Some(_),
-                        ..
-                    }
-                ),
+                !matches!(b, Basic::BlkMov { range: Some(_), .. }),
                 "reorder_fields must run before communication optimization"
             );
         }
@@ -203,16 +189,12 @@ fn map_field(f: &Function, perms: &HashMap<StructId, Vec<u32>>, m: MemRef) -> Me
 fn rewrite_stmt(f: &Function, s: Stmt, perms: &HashMap<StructId, Vec<u32>>) -> Stmt {
     let label = s.label;
     let kind = match s.kind {
-        StmtKind::Seq(ss) => StmtKind::Seq(
-            ss.into_iter()
-                .map(|c| rewrite_stmt(f, c, perms))
-                .collect(),
-        ),
-        StmtKind::ParSeq(ss) => StmtKind::ParSeq(
-            ss.into_iter()
-                .map(|c| rewrite_stmt(f, c, perms))
-                .collect(),
-        ),
+        StmtKind::Seq(ss) => {
+            StmtKind::Seq(ss.into_iter().map(|c| rewrite_stmt(f, c, perms)).collect())
+        }
+        StmtKind::ParSeq(ss) => {
+            StmtKind::ParSeq(ss.into_iter().map(|c| rewrite_stmt(f, c, perms)).collect())
+        }
         StmtKind::Basic(b) => StmtKind::Basic(match b {
             Basic::Assign { dst, src } => Basic::Assign {
                 dst: match dst {

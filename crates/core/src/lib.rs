@@ -41,6 +41,7 @@
 pub mod config;
 pub mod inline;
 pub mod layout;
+pub mod motion;
 pub mod placement;
 pub mod rce;
 pub mod selection;
@@ -49,6 +50,7 @@ pub mod transform;
 pub use config::{CommCostModel, CommOptConfig, FreqModel};
 pub use inline::{inline_functions, InlineConfig, InlineReport};
 pub use layout::{reorder_fields, LayoutReport};
+pub use motion::{Motion, MotionKind, MotionLog};
 pub use placement::{analyze_placement, Placement};
 pub use rce::{CommSet, Rce};
 pub use selection::{select, Plan, Replace, SelectionStats};
@@ -63,6 +65,9 @@ pub struct FnReport {
     pub func: FuncId,
     /// Selection counters.
     pub stats: SelectionStats,
+    /// Every motion selection performed, in decision order. Labels refer to
+    /// the pre-optimization statement labels (which the transformer keeps).
+    pub motion: MotionLog,
 }
 
 /// Whole-program optimization outcome.
@@ -114,6 +119,7 @@ pub fn optimize_program(prog: &mut Program, cfg: &CommOptConfig) -> OptReport {
         report.functions.push(FnReport {
             func: fid,
             stats: plan.stats,
+            motion: plan.motion,
         });
     }
     earth_ir::validate_program(prog).expect("optimizer produced invalid IR");
@@ -284,6 +290,53 @@ mod tests {
         assert!(after_loop.contains("close~>x"), "{text}");
     }
 
+    /// The motion log names every decision with pre-optimization labels.
+    #[test]
+    fn motion_log_records_decisions() {
+        use crate::motion::MotionKind;
+        let (_prog, report) = optimize(
+            r#"
+            struct Point { double x; double y; };
+            double distance(Point *p) {
+                double d;
+                d = sqrt(p->x * p->x + p->y * p->y);
+                return d;
+            }
+        "#,
+        );
+        let log = &report.functions[0].motion;
+        // Two reads issued, each merging the two loads of one field.
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|m| m.kind == MotionKind::RedundantReuse));
+        assert!(log.iter().all(|m| m.from_labels.len() == 2));
+        let rendered = log.render();
+        assert!(rendered.contains("redundant-reuse p"), "{rendered}");
+        assert!(rendered.contains("read of p~>x"), "{rendered}");
+
+        // Blocking records the blkmov read and the write-back.
+        let (_prog, report) = optimize(
+            r#"
+            struct Point { double x; double y; };
+            double scale(double v, double k) { return v * k; }
+            void scale_point(Point *p, double k) {
+                p->x = scale(p->x, k);
+                p->y = scale(p->y, k);
+            }
+        "#,
+        );
+        let log = &report
+            .functions
+            .iter()
+            .find(|f| !f.motion.is_empty())
+            .expect("scale_point moved something")
+            .motion;
+        let kinds: Vec<MotionKind> = log.iter().map(|m| m.kind).collect();
+        assert_eq!(kinds, [MotionKind::BlockRead, MotionKind::BlockWriteback]);
+        let read = &log.motions[0];
+        assert_eq!(read.from_labels.len(), 4, "2 reads + 2 writes in the span");
+        assert!(read.before);
+    }
+
     /// The disabled configuration leaves the program untouched.
     #[test]
     fn disabled_config_is_identity() {
@@ -440,7 +493,10 @@ mod tests {
         let text = listing(&prog, "f");
         let if_pos = text.find("if").unwrap();
         let read_pos = text.find("p~>x").unwrap();
-        assert!(read_pos > if_pos, "read must stay inside the branch: {text}");
+        assert!(
+            read_pos > if_pos,
+            "read must stay inside the branch: {text}"
+        );
     }
 
     /// Under a redundancy-only configuration the duplicate loads still

@@ -1,0 +1,143 @@
+//! Motion log — a machine-checkable record of every communication motion.
+//!
+//! Selection ([`crate::selection`]) decides where each remote operation is
+//! issued; this module records *what moved where and why* so that
+//!
+//! * the translation validator (`earth-lint`) can independently re-derive
+//!   the safety of every motion against the **pre-optimization** program
+//!   (the transformer keeps original statement labels, so `from_labels` and
+//!   `to_label` remain meaningful after [`crate::transform::apply_plan`]),
+//! * `fig10`-style experiment binaries can print an audit trail of the
+//!   optimizer's decisions.
+
+use earth_ir::{FieldId, Label, VarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What mechanism moved the communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MotionKind {
+    /// A split-phase scalar read issued earlier than its single original
+    /// access (`comm = p~>f` motion, the paper's pipelining).
+    PipelinedRead,
+    /// A split-phase scalar read covering **several** original accesses
+    /// (the hash table of already-issued operations merged them).
+    RedundantReuse,
+    /// A whole-struct (or partial-range) `blkmov` read fetched at the span
+    /// anchor, replacing every direct read in a blocked span.
+    BlockRead,
+    /// The single `blkmov` write-back flushing a blocked span's buffered
+    /// writes at the span end.
+    BlockWriteback,
+}
+
+impl MotionKind {
+    /// Short lower-case tag used in renderings.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MotionKind::PipelinedRead => "pipelined-read",
+            MotionKind::RedundantReuse => "redundant-reuse",
+            MotionKind::BlockRead => "block-read",
+            MotionKind::BlockWriteback => "block-writeback",
+        }
+    }
+}
+
+/// One motion: a remote operation moved (or merged) by selection.
+#[derive(Debug, Clone)]
+pub struct Motion {
+    /// The pointer variable through which the remote region is accessed.
+    pub base: VarId,
+    /// Source-level name of `base` (for rendering without the function).
+    pub base_name: String,
+    /// The accessed field for scalar reads; `None` for block transfers,
+    /// which move the whole struct (or a contiguous field range).
+    pub field: Option<FieldId>,
+    /// Labels of the original accesses this motion covers. These statements
+    /// are rewritten to use the communication temporary or block buffer.
+    pub from_labels: BTreeSet<Label>,
+    /// The anchor statement the new communication is attached to.
+    pub to_label: Label,
+    /// `true` when the new operation is inserted *before* the anchor,
+    /// `false` when it is inserted after.
+    pub before: bool,
+    /// The mechanism.
+    pub kind: MotionKind,
+    /// Human-readable justification recorded at decision time.
+    pub reason: String,
+}
+
+impl Motion {
+    /// `true` for motions that issue a read (everything except write-backs).
+    pub fn is_read(&self) -> bool {
+        self.kind != MotionKind::BlockWriteback
+    }
+}
+
+impl fmt::Display for Motion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let labels: Vec<String> = self.from_labels.iter().map(|l| l.to_string()).collect();
+        let field = match self.field {
+            Some(fid) => format!("~>f{}", fid.0),
+            None => String::new(),
+        };
+        write!(
+            f,
+            "{} {}{} [{}] -> {} {}: {}",
+            self.kind.tag(),
+            self.base_name,
+            field,
+            labels.join(", "),
+            if self.before { "before" } else { "after" },
+            self.to_label,
+            self.reason
+        )
+    }
+}
+
+/// The ordered list of motions selection performed for one function.
+#[derive(Debug, Clone, Default)]
+pub struct MotionLog {
+    /// Motions in the order they were decided.
+    pub motions: Vec<Motion>,
+}
+
+impl MotionLog {
+    /// Appends a motion.
+    pub fn push(&mut self, m: Motion) {
+        self.motions.push(m);
+    }
+
+    /// Iterates over the recorded motions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Motion> {
+        self.motions.iter()
+    }
+
+    /// Number of recorded motions.
+    pub fn len(&self) -> usize {
+        self.motions.len()
+    }
+
+    /// `true` when nothing moved.
+    pub fn is_empty(&self) -> bool {
+        self.motions.is_empty()
+    }
+
+    /// Multi-line rendering, one motion per line (for `fig10` debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.motions {
+            out.push_str(&m.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a MotionLog {
+    type Item = &'a Motion;
+    type IntoIter = std::slice::Iter<'a, Motion>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.motions.iter()
+    }
+}

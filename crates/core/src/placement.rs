@@ -28,9 +28,7 @@
 use crate::config::FreqModel;
 use crate::rce::{CommSet, Rce};
 use earth_analysis::{AccessKind, FunctionAnalysis};
-use earth_ir::{
-    Basic, Function, Label, MemRef, Operand, Place, Rvalue, Stmt, StmtKind,
-};
+use earth_ir::{Basic, Function, Label, MemRef, Operand, Place, Rvalue, Stmt, StmtKind};
 use std::collections::{HashMap, HashSet};
 
 /// Results of possible-placement analysis for one function.
@@ -114,7 +112,9 @@ pub fn analyze_placement(f: &Function, fa: &FunctionAnalysis, freq: &FreqModel) 
                 | earth_ir::StmtKind::DoWhile { body, .. } => {
                     any |= visit(body, set);
                 }
-                earth_ir::StmtKind::Forall { init, step, body, .. } => {
+                earth_ir::StmtKind::Forall {
+                    init, step, body, ..
+                } => {
                     any |= visit(init, set);
                     any |= visit(step, set);
                     any |= visit(body, set);
@@ -153,7 +153,9 @@ impl Ctx<'_> {
     /// `l` writes `p` itself or may write `p->f`.
     fn read_killed_by(&self, t: &Rce, l: Label) -> bool {
         self.fa.var_written(t.base, l)
-            || self.fa.heap_conflict(t.base, Some(t.field), l, AccessKind::Write)
+            || self
+                .fa
+                .heap_conflict(t.base, Some(t.field), l, AccessKind::Write)
     }
 
     /// A write tuple `(p, f)` cannot be propagated below statement `l` if
@@ -247,9 +249,7 @@ impl Ctx<'_> {
                 }
                 out
             }
-            StmtKind::If {
-                then_s, else_s, ..
-            } => {
+            StmtKind::If { then_s, else_s, .. } => {
                 let t = self.collect_reads(then_s);
                 let e = self.collect_reads(else_s);
                 let mut out = CommSet::new();
@@ -283,10 +283,7 @@ impl Ctx<'_> {
                 self.hoist_reads_from_loop(body_set, s.label, executes_once)
             }
             StmtKind::Forall {
-                init,
-                step,
-                body,
-                ..
+                init, step, body, ..
             } => {
                 // Per iteration the body runs, then the step. Propagate step
                 // tuples above the body, then hoist out of the loop; the
@@ -370,9 +367,7 @@ impl Ctx<'_> {
                 }
                 out
             }
-            StmtKind::If {
-                then_s, else_s, ..
-            } => {
+            StmtKind::If { then_s, else_s, .. } => {
                 let t = self.collect_writes(then_s);
                 let e = self.collect_writes(else_s);
                 // Only tuples written in BOTH alternatives may move below
@@ -383,9 +378,7 @@ impl Ctx<'_> {
                         let mut merged = r.clone();
                         merged.freq = (r.freq + other.freq) / 2.0;
                         merged.labels.extend(other.labels.iter().copied());
-                        merged
-                            .value_vars
-                            .extend(other.value_vars.iter().copied());
+                        merged.value_vars.extend(other.value_vars.iter().copied());
                         out.add(merged);
                     }
                 }
@@ -403,10 +396,8 @@ impl Ctx<'_> {
                     return CommSet::new();
                 };
                 for r in first.iter() {
-                    let others: Vec<&Rce> = rest
-                        .iter()
-                        .filter_map(|s| s.get(r.base, r.field))
-                        .collect();
+                    let others: Vec<&Rce> =
+                        rest.iter().filter_map(|s| s.get(r.base, r.field)).collect();
                     if others.len() == rest.len() {
                         let mut merged = r.clone();
                         for o in others {
@@ -433,9 +424,7 @@ impl Ctx<'_> {
                     // The tuple's own accesses (its Dlist) must be the only
                     // accesses to (p, f) in the loop; any *other* matching
                     // access — and any write to the base pointer — kills it.
-                    if self.fa.var_written(t.base, s.label)
-                        || self.loop_write_conflict(body, &t)
-                    {
+                    if self.fa.var_written(t.base, s.label) || self.loop_write_conflict(body, &t) {
                         continue;
                     }
                     t.freq *= self.freq.loop_factor;
@@ -459,7 +448,11 @@ impl Ctx<'_> {
     /// guaranteed to be dereferenced (before redefinition) on every path
     /// starting just before it; `after` is the set holding just after `s`.
     /// Records the per-statement sets and returns the set before `s`.
-    fn must_deref(&mut self, s: &Stmt, after: HashSet<earth_ir::VarId>) -> HashSet<earth_ir::VarId> {
+    fn must_deref(
+        &mut self,
+        s: &Stmt,
+        after: HashSet<earth_ir::VarId>,
+    ) -> HashSet<earth_ir::VarId> {
         let before = match &s.kind {
             StmtKind::Basic(b) => {
                 if matches!(b, Basic::Return(_)) {
@@ -840,6 +833,9 @@ mod tests {
             l.unwrap()
         };
         let set = &placement.writes_after[&do_label];
-        assert!(set.is_empty(), "read of p->x each iteration pins the write: {set}");
+        assert!(
+            set.is_empty(),
+            "read of p->x each iteration pins the write: {set}"
+        );
     }
 }

@@ -26,6 +26,7 @@
 //! enables blocked communication").
 
 use crate::config::CommOptConfig;
+use crate::motion::{Motion, MotionKind, MotionLog};
 use crate::placement::Placement;
 use earth_analysis::{AccessKind, FunctionAnalysis};
 use earth_ir::{
@@ -71,6 +72,8 @@ pub struct Plan {
     pub replace: HashMap<Label, Replace>,
     /// Summary counters.
     pub stats: SelectionStats,
+    /// Record of every motion, for the translation validator and debugging.
+    pub motion: MotionLog,
 }
 
 /// Runs communication selection for `func` (which must belong to `prog`),
@@ -155,7 +158,12 @@ impl Selector<'_> {
         }
     }
 
-    fn block_spans_in_seq(&mut self, func: &mut Function, placement: &Placement, children: &[Stmt]) {
+    fn block_spans_in_seq(
+        &mut self,
+        func: &mut Function,
+        placement: &Placement,
+        children: &[Stmt],
+    ) {
         // Candidate pointers: bases of direct remote derefs in the children,
         // in order of first appearance.
         let mut candidates: Vec<VarId> = Vec::new();
@@ -168,10 +176,7 @@ impl Selector<'_> {
                 .iter()
                 .chain(self.fa.rw.get(c.label).heap_writes.iter())
             {
-                if h.direct
-                    && func.deref_is_remote(h.base)
-                    && !candidates.contains(&h.base)
-                {
+                if h.direct && func.deref_is_remote(h.base) && !candidates.contains(&h.base) {
                     candidates.push(h.base);
                 }
             }
@@ -286,8 +291,7 @@ impl Selector<'_> {
         // write-back would be skipped).
         let has_writes = !write_fields.is_empty();
         if has_writes {
-            let span_children =
-                &children[start..=terminal.unwrap_or(end)];
+            let span_children = &children[start..=terminal.unwrap_or(end)];
             let contains_return = span_children.iter().any(|c| {
                 let mut found = false;
                 c.walk(&mut |st| {
@@ -305,8 +309,7 @@ impl Selector<'_> {
         // The block read dereferences p at the span start; without
         // speculation support it must be guaranteed on all paths there
         // (the paper's footnote 2).
-        if !self.cfg.speculative_remote_ok
-            && !placement.deref_guaranteed(p, children[start].label)
+        if !self.cfg.speculative_remote_ok && !placement.deref_guaranteed(p, children[start].label)
         {
             return Some(continue_at);
         }
@@ -324,9 +327,7 @@ impl Selector<'_> {
             {
                 break;
             }
-            if !self.cfg.speculative_remote_ok
-                && !placement.deref_guaranteed(p, prev.label)
-            {
+            if !self.cfg.speculative_remote_ok && !placement.deref_guaranteed(p, prev.label) {
                 break;
             }
             anchor -= 1;
@@ -349,6 +350,23 @@ impl Selector<'_> {
                     buf,
                     range,
                 });
+            self.plan.motion.push(Motion {
+                base: p,
+                base_name: func.var(p).name.clone(),
+                field: None,
+                from_labels: accesses.iter().map(|a| a.label).collect(),
+                to_label: children[anchor].label,
+                before: true,
+                kind: MotionKind::BlockRead,
+                reason: format!(
+                    "blocked span of {} direct accesses ({} read / {} written fields, \
+                     {range_words} words); read hoisted {} statement(s) above the span",
+                    accesses.len(),
+                    read_fields.len(),
+                    write_fields.len(),
+                    start - anchor
+                ),
+            });
         }
         self.plan.stats.blocked_spans += 1;
 
@@ -372,8 +390,30 @@ impl Selector<'_> {
                 buf,
                 range,
             };
-            match terminal {
+            let (wb_label, wb_before) = match terminal {
                 // The terminal statement redefines p: flush before it.
+                Some(t) => (children[t].label, true),
+                None => (children[end].label, false),
+            };
+            self.plan.motion.push(Motion {
+                base: p,
+                base_name: func.var(p).name.clone(),
+                field: None,
+                from_labels: accesses
+                    .iter()
+                    .filter(|a| a.is_write)
+                    .map(|a| a.label)
+                    .collect(),
+                to_label: wb_label,
+                before: wb_before,
+                kind: MotionKind::BlockWriteback,
+                reason: if terminal.is_some() {
+                    "buffered writes flushed before the span-terminal pointer advance".into()
+                } else {
+                    "buffered writes flushed after the last span statement".into()
+                },
+            });
+            match terminal {
                 Some(t) => self
                     .plan
                     .inserts_before
@@ -433,14 +473,9 @@ impl Selector<'_> {
         // Any access to p's region that is not a direct field access via p
         // itself is a conflict (aliased or callee access, or an existing
         // whole-struct blkmov).
-        let aliased = rw
-            .heap_reads
-            .iter()
-            .chain(rw.heap_writes.iter())
-            .any(|h| {
-                self.fa.regions.connected(h.base, p)
-                    && !(h.base == p && h.direct && h.field.is_some())
-            });
+        let aliased = rw.heap_reads.iter().chain(rw.heap_writes.iter()).any(|h| {
+            self.fa.regions.connected(h.base, p) && !(h.base == p && h.direct && h.field.is_some())
+        });
         if aliased {
             return Compat::Conflict;
         }
@@ -556,11 +591,12 @@ impl Selector<'_> {
             }
             // Issue the read here.
             self.comm_counter += 1;
-            let field_ty = self
+            let field_def = self
                 .prog
                 .struct_def(func.var(t.base).ty.struct_id().expect("pointer base"))
-                .field(t.field)
-                .ty;
+                .field(t.field);
+            let field_ty = field_def.ty;
+            let field_name = field_def.name.clone();
             let comm = func.add_var(VarDecl {
                 origin: VarOrigin::CommTemp,
                 ..VarDecl::new(format!("comm{}", self.comm_counter), field_ty)
@@ -572,7 +608,8 @@ impl Selector<'_> {
                     field: t.field,
                 }),
             };
-            if t.labels.iter().any(|l| subtree.contains(l)) {
+            let before = t.labels.iter().any(|l| subtree.contains(l));
+            if before {
                 self.plan
                     .inserts_before
                     .entry(child.label)
@@ -585,6 +622,26 @@ impl Selector<'_> {
                     .or_default()
                     .push(read);
             }
+            self.plan.motion.push(Motion {
+                base: t.base,
+                base_name: func.var(t.base).name.clone(),
+                field: Some(t.field),
+                from_labels: t.labels.clone(),
+                to_label: child.label,
+                before,
+                kind: if t.labels.len() > 1 {
+                    MotionKind::RedundantReuse
+                } else {
+                    MotionKind::PipelinedRead
+                },
+                reason: format!(
+                    "read of {}~>{} (freq {:.1}) placeable here, covering {} original access(es)",
+                    func.var(t.base).name,
+                    field_name,
+                    t.freq,
+                    t.labels.len()
+                ),
+            });
             self.plan.stats.pipelined_reads += 1;
             for l in &t.labels {
                 self.plan.replace.insert(*l, Replace::ReadToTemp(comm));

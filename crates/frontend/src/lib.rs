@@ -69,6 +69,22 @@ impl fmt::Display for FrontendError {
 
 impl std::error::Error for FrontendError {}
 
+impl FrontendError {
+    /// Converts the error to the toolchain-wide diagnostic format
+    /// ([`earth_ir::diag`]): `FE001` for syntax errors, `FE002` for type and
+    /// lowering errors, with the source position folded into the message.
+    pub fn to_diagnostic(&self) -> earth_ir::Diagnostic {
+        match self {
+            FrontendError::Parse(e) => {
+                earth_ir::Diagnostic::error("FE001", format!("syntax error: {}", e.message))
+                    .with_note(format!("at {}", e.pos))
+            }
+            FrontendError::Lower(e) => earth_ir::Diagnostic::error("FE002", e.message.clone())
+                .with_note(format!("at {}", e.pos)),
+        }
+    }
+}
+
 impl From<ParseError> for FrontendError {
     fn from(e: ParseError) -> Self {
         FrontendError::Parse(e)
@@ -132,10 +148,7 @@ mod tests {
         let remote = eq
             .basic_stmts()
             .iter()
-            .filter(|(_, b)| {
-                b.deref_access()
-                    .is_some_and(|a| eq.deref_is_remote(a.base))
-            })
+            .filter(|(_, b)| b.deref_access().is_some_and(|a| eq.deref_is_remote(a.base)))
             .count();
         assert_eq!(remote, 1);
     }

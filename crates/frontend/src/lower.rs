@@ -15,8 +15,8 @@ use crate::ast::{self, AstBinOp, AstUnOp, Expr, Item, LValue, Stmt, TypeExpr, Un
 use crate::token::Pos;
 use earth_ir::builder::FunctionBuilder;
 use earth_ir::{
-    AtTarget, Basic, BinOp, Builtin, Cond, FuncId, Operand, Program, StructDef, StructId, Ty,
-    UnOp, VarDecl, VarId,
+    AtTarget, Basic, BinOp, Builtin, Cond, FuncId, Operand, Program, StructDef, StructId, Ty, UnOp,
+    VarDecl, VarId,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -324,7 +324,12 @@ impl<'a> FnLower<'a> {
     }
 
     /// Resolves a flattened field path on struct `sid`.
-    fn field(&self, sid: StructId, path: &[String], pos: Pos) -> Result<earth_ir::FieldId, LowerError> {
+    fn field(
+        &self,
+        sid: StructId,
+        path: &[String],
+        pos: Pos,
+    ) -> Result<earth_ir::FieldId, LowerError> {
         let joined = path.join(".");
         self.ctx.field_maps[&sid]
             .get(&joined)
@@ -363,7 +368,10 @@ impl<'a> FnLower<'a> {
                 pos,
             } => {
                 if self.names.contains_key(name) {
-                    return err(*pos, format!("duplicate variable `{name}` (shadowing is not supported)"));
+                    return err(
+                        *pos,
+                        format!("duplicate variable `{name}` (shadowing is not supported)"),
+                    );
                 }
                 let ir_ty = lower_type(ty, self.ctx.struct_ids, *pos)?;
                 let decl = if quals.shared {
@@ -428,32 +436,35 @@ impl<'a> FnLower<'a> {
                     Ok(())
                 }
             },
-            Stmt::ExprStmt(e) => {
-                match e {
-                    Expr::Call { name, args, at, pos } if name == "writeto" || name == "addto" => {
-                        if at.is_some() {
-                            return err(*pos, "atomic operations cannot take `@` clauses");
-                        }
-                        let var = self.shared_ref_arg(args, 0, *pos)?;
-                        if args.len() != 2 {
-                            return err(*pos, format!("`{name}` expects 2 arguments"));
-                        }
-                        let (val, vty) = self.expr(&args[1])?;
-                        self.check_assignable(ETy::T(Ty::Int), vty, args[1].pos())?;
-                        if name == "writeto" {
-                            self.fb.atomic_write(var, val);
-                        } else {
-                            self.fb.atomic_add(var, val);
-                        }
-                        Ok(())
+            Stmt::ExprStmt(e) => match e {
+                Expr::Call {
+                    name,
+                    args,
+                    at,
+                    pos,
+                } if name == "writeto" || name == "addto" => {
+                    if at.is_some() {
+                        return err(*pos, "atomic operations cannot take `@` clauses");
                     }
-                    Expr::Call { .. } => {
-                        self.expr_discard(e)?;
-                        Ok(())
+                    let var = self.shared_ref_arg(args, 0, *pos)?;
+                    if args.len() != 2 {
+                        return err(*pos, format!("`{name}` expects 2 arguments"));
                     }
-                    _ => err(e.pos(), "expression statements must be calls"),
+                    let (val, vty) = self.expr(&args[1])?;
+                    self.check_assignable(ETy::T(Ty::Int), vty, args[1].pos())?;
+                    if name == "writeto" {
+                        self.fb.atomic_write(var, val);
+                    } else {
+                        self.fb.atomic_add(var, val);
+                    }
+                    Ok(())
                 }
-            }
+                Expr::Call { .. } => {
+                    self.expr_discard(e)?;
+                    Ok(())
+                }
+                _ => err(e.pos(), "expression statements must be calls"),
+            },
             Stmt::If {
                 cond,
                 then_s,
@@ -631,12 +642,7 @@ impl<'a> FnLower<'a> {
 
     /// Lowers a statement that must produce exactly one basic statement
     /// (used for `forall` init/step).
-    fn lower_single_basic(
-        &mut self,
-        s: &Stmt,
-        pos: Pos,
-        what: &str,
-    ) -> Result<Basic, LowerError> {
+    fn lower_single_basic(&mut self, s: &Stmt, pos: Pos, what: &str) -> Result<Basic, LowerError> {
         self.fb.begin_seq();
         let r = self.stmt(s);
         let seq = self.fb.end_seq();
@@ -647,7 +653,10 @@ impl<'a> FnLower<'a> {
         if ss.len() != 1 {
             return err(
                 pos,
-                format!("{what} must lower to a single basic statement (got {})", ss.len()),
+                format!(
+                    "{what} must lower to a single basic statement (got {})",
+                    ss.len()
+                ),
             );
         }
         match ss.pop().expect("length checked").kind {
@@ -701,8 +710,7 @@ impl<'a> FnLower<'a> {
                 if !ir_op.is_comparison() {
                     return Ok(None);
                 }
-                let (Some((a, lt)), Some((b, rt))) =
-                    (trivial(self, lhs)?, trivial(self, rhs)?)
+                let (Some((a, lt)), Some((b, rt))) = (trivial(self, lhs)?, trivial(self, rhs)?)
                 else {
                     return Ok(None);
                 };
@@ -755,12 +763,7 @@ impl<'a> FnLower<'a> {
 
     // ---- expressions --------------------------------------------------
 
-    fn shared_ref_arg(
-        &mut self,
-        args: &[Expr],
-        idx: usize,
-        pos: Pos,
-    ) -> Result<VarId, LowerError> {
+    fn shared_ref_arg(&mut self, args: &[Expr], idx: usize, pos: Pos) -> Result<VarId, LowerError> {
         match args.get(idx) {
             Some(Expr::AddrOf(name, p)) => {
                 let v = self.lookup(name, *p)?;
@@ -816,7 +819,10 @@ impl<'a> FnLower<'a> {
     }
 
     fn call_args(&mut self, e: &Expr) -> Result<Vec<Operand>, LowerError> {
-        let Expr::Call { name, args, pos, .. } = e else {
+        let Expr::Call {
+            name, args, pos, ..
+        } = e
+        else {
             unreachable!()
         };
         let (_, ptys, _) = &self.ctx.sigs[name];
@@ -1032,7 +1038,9 @@ impl<'a> FnLower<'a> {
                     }
                 }
             }
-            Expr::Call { name, pos, args, .. } => {
+            Expr::Call {
+                name, pos, args, ..
+            } => {
                 // Special call forms first.
                 match name.as_str() {
                     "valueof" => {
@@ -1143,10 +1151,9 @@ impl<'a> FnLower<'a> {
                     }),
                 ))
             }
-            Expr::AddrOf(_, pos) => err(
-                *pos,
-                "`&` is only valid in writeto/addto/valueof arguments",
-            ),
+            Expr::AddrOf(_, pos) => {
+                err(*pos, "`&` is only valid in writeto/addto/valueof arguments")
+            }
             Expr::Sizeof(_, pos) => err(*pos, "`sizeof` is only valid inside malloc"),
             Expr::Int(..) | Expr::Double(..) | Expr::Null(..) | Expr::Var(..) => {
                 // Trivial values: plan as a copy.
@@ -1157,10 +1164,13 @@ impl<'a> FnLower<'a> {
                         return err(e.pos(), "NULL needs a pointer-typed context");
                     }
                 };
-                Ok((ty, Box::new(move |lw, dst| {
-                    lw.fb.assign(dst, op);
-                    Ok(())
-                })))
+                Ok((
+                    ty,
+                    Box::new(move |lw, dst| {
+                        lw.fb.assign(dst, op);
+                        Ok(())
+                    }),
+                ))
             }
         }
     }

@@ -949,10 +949,15 @@ mod tests {
         if let Item::Func(f) = &unit.items[1] {
             match &f.body[1] {
                 Stmt::Assign { rhs, .. } => match rhs {
-                    Expr::FieldPath { base, arrow, path, .. } => {
+                    Expr::FieldPath {
+                        base, arrow, path, ..
+                    } => {
                         assert_eq!(base, "village");
                         assert!(arrow);
-                        assert_eq!(path, &vec!["hosp".to_string(), "free_personnel".to_string()]);
+                        assert_eq!(
+                            path,
+                            &vec!["hosp".to_string(), "free_personnel".to_string()]
+                        );
                     }
                     _ => panic!("expected field path"),
                 },
@@ -1037,7 +1042,13 @@ mod tests {
             if let Stmt::Assign { rhs, .. } = &f.body[1] {
                 // Top-level must be `||`.
                 assert!(
-                    matches!(rhs, Expr::Binary { op: AstBinOp::Or, .. }),
+                    matches!(
+                        rhs,
+                        Expr::Binary {
+                            op: AstBinOp::Or,
+                            ..
+                        }
+                    ),
                     "got {rhs:?}"
                 );
             }

@@ -64,27 +64,27 @@ pub enum Tok {
     Semi,
     Comma,
     Colon,
-    Arrow,     // ->
-    Dot,       // .
-    Star,      // *
-    Slash,     // /
-    Percent,   // %
-    Plus,      // +
-    Minus,     // -
-    Assign,    // =
-    EqEq,      // ==
-    NotEq,     // !=
-    Lt,        // <
-    Le,        // <=
-    Gt,        // >
-    Ge,        // >=
-    AndAnd,    // &&
-    OrOr,      // ||
-    Not,       // !
-    Amp,       // &
-    At,        // @
-    ParOpen,   // {^
-    ParClose,  // ^}
+    Arrow,    // ->
+    Dot,      // .
+    Star,     // *
+    Slash,    // /
+    Percent,  // %
+    Plus,     // +
+    Minus,    // -
+    Assign,   // =
+    EqEq,     // ==
+    NotEq,    // !=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    AndAnd,   // &&
+    OrOr,     // ||
+    Not,      // !
+    Amp,      // &
+    At,       // @
+    ParOpen,  // {^
+    ParClose, // ^}
     /// End of input.
     Eof,
 }
@@ -392,10 +392,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         };
         out.push(Token { tok, pos: start });
     }
-    out.push(Token {
-        tok: Tok::Eof,
-        pos,
-    });
+    out.push(Token { tok: Tok::Eof, pos });
     Ok(out)
 }
 

@@ -48,17 +48,13 @@ fn void_variable() {
 
 #[test]
 fn arrow_on_struct_value() {
-    let e = err(
-        "struct A { int x; }; int main() { A s; s.x = 1; return s->x; }",
-    );
+    let e = err("struct A { int x; }; int main() { A s; s.x = 1; return s->x; }");
     assert!(e.contains("use `.`"), "{e}");
 }
 
 #[test]
 fn dot_on_pointer() {
-    let e = err(
-        "struct A { int x; }; int f(A *p) { return p.x; }",
-    );
+    let e = err("struct A { int x; }; int f(A *p) { return p.x; }");
     assert!(e.contains("use `->`"), "{e}");
 }
 
@@ -76,9 +72,7 @@ fn unknown_function_call() {
 
 #[test]
 fn arity_mismatch() {
-    let e = err(
-        "struct A { int x; }; int g(int a) { return a; } int main() { return g(); }",
-    );
+    let e = err("struct A { int x; }; int g(int a) { return a; } int main() { return g(); }");
     assert!(e.contains("expects 1 arguments"), "{e}");
 }
 
@@ -96,17 +90,13 @@ fn shared_must_be_int() {
 
 #[test]
 fn shared_read_requires_valueof() {
-    let e = err(
-        "struct A { int x; }; int main() { shared int c; return c; }",
-    );
+    let e = err("struct A { int x; }; int main() { shared int c; return c; }");
     assert!(e.contains("valueof"), "{e}");
 }
 
 #[test]
 fn shared_write_requires_writeto() {
-    let e = err(
-        "struct A { int x; }; int main() { shared int c; c = 1; return 0; }",
-    );
+    let e = err("struct A { int x; }; int main() { shared int c; c = 1; return 0; }");
     assert!(e.contains("writeto"), "{e}");
 }
 
@@ -124,16 +114,14 @@ fn sizeof_outside_malloc() {
 
 #[test]
 fn forall_step_too_complex() {
-    let e = err(
-        r#"
+    let e = err(r#"
         struct N { N* next; int v; };
         int main() {
             N *p;
             forall (p = NULL; p != NULL; p = p->next->next) { }
             return 0;
         }
-    "#,
-    );
+    "#);
     // p->next->next is not even parseable as a single postfix chain in the
     // subset; whichever stage rejects it must say something useful.
     assert!(!e.is_empty());
@@ -141,8 +129,7 @@ fn forall_step_too_complex() {
 
 #[test]
 fn forall_impure_condition() {
-    let e = err(
-        r#"
+    let e = err(r#"
         struct N { N* next; int v; };
         int main() {
             N *p;
@@ -152,8 +139,7 @@ fn forall_impure_condition() {
             forall (p = q; q->v > 0; p = p->next) { }
             return 0;
         }
-    "#,
-    );
+    "#);
     assert!(e.contains("simple comparisons"), "{e}");
 }
 
@@ -171,9 +157,7 @@ fn void_function_returning_value() {
 
 #[test]
 fn void_function_used_as_value() {
-    let e = err(
-        "struct A { int x; }; void f() { } int main() { return f(); }",
-    );
+    let e = err("struct A { int x; }; void f() { } int main() { return f(); }");
     assert!(e.contains("void"), "{e}");
 }
 

@@ -1,35 +1,38 @@
 //! Fuzz-style property: the frontend never panics, whatever bytes it is
 //! fed — it either produces a program or a positioned error.
 
-use proptest::prelude::*;
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    #[test]
-    fn arbitrary_ascii_never_panics(src in "[ -~\n]{0,400}") {
+#[test]
+fn arbitrary_ascii_never_panics() {
+    earth_qcheck::cases(256, |rng| {
+        let len = rng.index(401);
+        let src: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline, mirroring the old `[ -~\n]`.
+                let c = rng.range(b' ' as i64, b'~' as i64 + 2) as u8;
+                if c > b'~' {
+                    '\n'
+                } else {
+                    c as char
+                }
+            })
+            .collect();
         let _ = earth_frontend::compile(&src);
-    }
+    });
+}
 
-    #[test]
-    fn token_soup_never_panics(tokens in prop::collection::vec(
-        prop_oneof![
-            Just("struct".to_string()), Just("int".to_string()),
-            Just("double".to_string()), Just("if".to_string()),
-            Just("while".to_string()), Just("forall".to_string()),
-            Just("return".to_string()), Just("{^".to_string()),
-            Just("^}".to_string()), Just("{".to_string()),
-            Just("}".to_string()), Just("(".to_string()),
-            Just(")".to_string()), Just(";".to_string()),
-            Just("->".to_string()), Just("*".to_string()),
-            Just("=".to_string()), Just("p".to_string()),
-            Just("S".to_string()), Just("42".to_string()),
-            Just("@".to_string()), Just("OWNER_OF".to_string()),
-            Just("NULL".to_string()), Just("sizeof".to_string()),
-            Just("&".to_string()), Just("shared".to_string()),
-            Just("local".to_string()),
-        ], 0..60)) {
-        let src = tokens.join(" ");
+#[test]
+fn token_soup_never_panics() {
+    const TOKENS: &[&str] = &[
+        "struct", "int", "double", "if", "while", "forall", "return", "{^", "^}", "{", "}", "(",
+        ")", ";", "->", "*", "=", "p", "S", "42", "@", "OWNER_OF", "NULL", "sizeof", "&", "shared",
+        "local",
+    ];
+    earth_qcheck::cases(256, |rng| {
+        let len = rng.index(60);
+        let src = (0..len)
+            .map(|_| *rng.pick(TOKENS))
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = earth_frontend::compile(&src);
-    }
+    });
 }

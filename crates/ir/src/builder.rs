@@ -173,7 +173,13 @@ impl FunctionBuilder {
     }
 
     /// `dst = f(args...) @ OWNER_OF(p)`
-    pub fn call_at_owner(&mut self, dst: Option<VarId>, func: FuncId, args: Vec<Operand>, p: VarId) {
+    pub fn call_at_owner(
+        &mut self,
+        dst: Option<VarId>,
+        func: FuncId,
+        args: Vec<Operand>,
+        p: VarId,
+    ) {
         self.basic(Basic::Call {
             dst,
             func,
@@ -431,13 +437,7 @@ impl FunctionBuilder {
     ///
     /// `init` and `step` are single basic statements, per SIMPLE's
     /// structured `for` form.
-    pub fn forall(
-        &mut self,
-        init: Basic,
-        cond: Cond,
-        step: Basic,
-        body: impl FnOnce(&mut Self),
-    ) {
+    pub fn forall(&mut self, init: Basic, cond: Cond, step: Basic, body: impl FnOnce(&mut Self)) {
         let init_label = self.func.fresh_label();
         let step_label = self.func.fresh_label();
         self.open();
@@ -545,11 +545,7 @@ mod tests {
         f.body.walk(&mut |s| {
             kinds.push(std::mem::discriminant(&s.kind));
         });
-        assert!(f
-            .body
-            .labels()
-            .windows(2)
-            .all(|w| w[0] != w[1]));
+        assert!(f.body.labels().windows(2).all(|w| w[0] != w[1]));
         assert_eq!(f.basic_stmts().len(), 5); // 2 par arms + init + step + body
     }
 

@@ -1,0 +1,645 @@
+//! Unified diagnostics for the EARTH-C toolchain.
+//!
+//! Every checking layer — IR validation ([`crate::validate`]), the frontend's
+//! error paths, and the `earth-lint` translation validator and race linter —
+//! reports problems as [`Diagnostic`] values: a stable code, a severity, the
+//! enclosing function, statement labels pinpointing the offending SIMPLE
+//! statements, and free-form notes.
+//!
+//! Diagnostics render two ways:
+//!
+//! * [`Diagnostic::render`] — human-readable terminal output;
+//! * [`Diagnostic::to_json`] / [`Diagnostic::from_json`] — a hand-rolled,
+//!   dependency-free machine-readable JSON encoding that round-trips exactly
+//!   (the workspace builds offline, so no serde).
+//!
+//! # Examples
+//!
+//! ```
+//! use earth_ir::diag::{Diagnostic, Severity};
+//! use earth_ir::Label;
+//!
+//! let d = Diagnostic::error("PLC001", "hoisted read crosses a killing write")
+//!     .in_func("walk")
+//!     .with_label(Label(4), "read inserted here")
+//!     .with_label(Label(9), "this statement writes the base pointer")
+//!     .with_note("re-derived from the pre-optimization rw-sets");
+//! assert!(d.render().contains("error[PLC001]"));
+//! let back = Diagnostic::from_json(&d.to_json()).unwrap();
+//! assert_eq!(d, back);
+//! ```
+
+use crate::stmt::Label;
+use json::ObjectExt as _;
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational remark (e.g. a construct proven independent).
+    Note,
+    /// Possible problem; the toolchain continues.
+    Warning,
+    /// Confirmed violation of an invariant.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in rendering and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Severity> {
+        match s {
+            "note" => Some(Severity::Note),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A statement label attached to a diagnostic, with its own message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagLabel {
+    /// The SIMPLE statement the message points at.
+    pub label: Label,
+    /// What this statement has to do with the problem.
+    pub message: String,
+}
+
+/// One diagnostic: code, severity, location, message, and notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (e.g. `IR001`, `PLC002`, `RACE001`).
+    pub code: String,
+    /// Severity class.
+    pub severity: Severity,
+    /// Function the problem was found in, if any.
+    pub func: Option<String>,
+    /// Primary human-readable message.
+    pub message: String,
+    /// Statement labels involved, in order of relevance.
+    pub labels: Vec<DiagLabel>,
+    /// Additional free-form explanations.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the given severity.
+    pub fn new(severity: Severity, code: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code: code.into(),
+            severity,
+            func: None,
+            message: message.into(),
+            labels: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// An error-severity diagnostic.
+    pub fn error(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self::new(Severity::Error, code, message)
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self::new(Severity::Warning, code, message)
+    }
+
+    /// A note-severity diagnostic.
+    pub fn note(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self::new(Severity::Note, code, message)
+    }
+
+    /// Sets the enclosing function.
+    pub fn in_func(mut self, name: impl Into<String>) -> Self {
+        self.func = Some(name.into());
+        self
+    }
+
+    /// Attaches a statement label with a message.
+    pub fn with_label(mut self, label: Label, message: impl Into<String>) -> Self {
+        self.labels.push(DiagLabel {
+            label,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Attaches a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Pretty terminal rendering, e.g.:
+    ///
+    /// ```text
+    /// error[PLC001] in `walk`: hoisted read crosses a killing write
+    ///   --> S4: read inserted here
+    ///   --> S9: this statement writes the base pointer
+    ///   note: re-derived from the pre-optimization rw-sets
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}[{}]", self.severity, self.code));
+        if let Some(f) = &self.func {
+            out.push_str(&format!(" in `{f}`"));
+        }
+        out.push_str(&format!(": {}", self.message));
+        for l in &self.labels {
+            out.push_str(&format!("\n  --> {}: {}", l.label, l.message));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n  note: {n}"));
+        }
+        out
+    }
+
+    /// Machine-readable JSON encoding (one object).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"code\":{}", json::string(&self.code)));
+        s.push_str(&format!(
+            ",\"severity\":{}",
+            json::string(self.severity.name())
+        ));
+        match &self.func {
+            Some(f) => s.push_str(&format!(",\"func\":{}", json::string(f))),
+            None => s.push_str(",\"func\":null"),
+        }
+        s.push_str(&format!(",\"message\":{}", json::string(&self.message)));
+        s.push_str(",\"labels\":[");
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"label\":{},\"message\":{}}}",
+                l.label.0,
+                json::string(&l.message)
+            ));
+        }
+        s.push_str("],\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json::string(n));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses a diagnostic back from its [`Diagnostic::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed JSON or a well-formed value of
+    /// the wrong shape.
+    pub fn from_json(src: &str) -> Result<Diagnostic, JsonError> {
+        let v = json::parse(src)?;
+        Self::from_value(&v)
+    }
+
+    fn from_value(v: &json::Value) -> Result<Diagnostic, JsonError> {
+        let obj = v.as_object("diagnostic")?;
+        let code = obj.get_str("code")?;
+        let severity = Severity::from_name(&obj.get_str("severity")?)
+            .ok_or_else(|| JsonError::shape("unknown severity"))?;
+        let func = match obj.field("func") {
+            None | Some(json::Value::Null) => None,
+            Some(json::Value::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(JsonError::shape("`func` must be a string or null")),
+        };
+        let message = obj.get_str("message")?;
+        let mut labels = Vec::new();
+        for lv in obj.get_array("labels")? {
+            let lo = lv.as_object("label entry")?;
+            labels.push(DiagLabel {
+                label: Label(lo.get_u32("label")?),
+                message: lo.get_str("message")?,
+            });
+        }
+        let mut notes = Vec::new();
+        for nv in obj.get_array("notes")? {
+            match nv {
+                json::Value::Str(s) => notes.push(s.clone()),
+                _ => return Err(JsonError::shape("notes must be strings")),
+            }
+        }
+        Ok(Diagnostic {
+            code,
+            severity,
+            func,
+            message,
+            labels,
+            notes,
+        })
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Renders a batch of diagnostics, one per paragraph.
+pub fn render_all(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(Diagnostic::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Encodes a batch of diagnostics as a JSON array.
+pub fn to_json_array(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&d.to_json());
+    }
+    s.push(']');
+    s
+}
+
+/// Parses a batch of diagnostics from a JSON array.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for malformed JSON or mis-shaped entries.
+pub fn from_json_array(src: &str) -> Result<Vec<Diagnostic>, JsonError> {
+    let v = json::parse(src)?;
+    let json::Value::Array(items) = v else {
+        return Err(JsonError::shape("expected a JSON array"));
+    };
+    items.iter().map(Diagnostic::from_value).collect()
+}
+
+/// A JSON parse or shape error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the problem, when known.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    fn shape(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "JSON error at byte {o}: {}", self.message),
+            None => write!(f, "JSON error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Minimal JSON reader/writer — just enough for the diagnostic encoding
+/// (objects, arrays, strings with escapes, unsigned integers, null).
+mod json {
+    use super::JsonError;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Num(u64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], JsonError> {
+            match self {
+                Value::Object(fields) => Ok(fields),
+                _ => Err(JsonError::shape(format!("{what} must be an object"))),
+            }
+        }
+    }
+
+    pub trait ObjectExt {
+        fn field(&self, key: &str) -> Option<&Value>;
+        fn get_str(&self, key: &str) -> Result<String, JsonError>;
+        fn get_u32(&self, key: &str) -> Result<u32, JsonError>;
+        fn get_array(&self, key: &str) -> Result<&[Value], JsonError>;
+    }
+
+    impl ObjectExt for [(String, Value)] {
+        fn field(&self, key: &str) -> Option<&Value> {
+            self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        fn get_str(&self, key: &str) -> Result<String, JsonError> {
+            match self.field(key) {
+                Some(Value::Str(s)) => Ok(s.clone()),
+                _ => Err(JsonError::shape(format!("`{key}` must be a string"))),
+            }
+        }
+
+        fn get_u32(&self, key: &str) -> Result<u32, JsonError> {
+            match self.field(key) {
+                Some(Value::Num(n)) if *n <= u32::MAX as u64 => Ok(*n as u32),
+                _ => Err(JsonError::shape(format!("`{key}` must be a u32"))),
+            }
+        }
+
+        fn get_array(&self, key: &str) -> Result<&[Value], JsonError> {
+            match self.field(key) {
+                Some(Value::Array(items)) => Ok(items),
+                _ => Err(JsonError::shape(format!("`{key}` must be an array"))),
+            }
+        }
+    }
+
+    /// Serializes a string with JSON escaping.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    pub fn parse(src: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data"));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, message: impl Into<String>) -> JsonError {
+            JsonError {
+                message: message.into(),
+                offset: Some(self.pos),
+            }
+        }
+
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(format!("expected `{}`", b as char)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, JsonError> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'n') => {
+                    if self.bytes[self.pos..].starts_with(b"null") {
+                        self.pos += 4;
+                        Ok(Value::Null)
+                    } else {
+                        Err(self.err("invalid literal"))
+                    }
+                }
+                Some(b) if b.is_ascii_digit() => self.number(),
+                _ => Err(self.err("expected a JSON value")),
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, JsonError> {
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+            text.parse::<u64>()
+                .map(Value::Num)
+                .map_err(|_| self.err("number out of range"))
+        }
+
+        fn string(&mut self) -> Result<String, JsonError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                let cp = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("bad \\u code point"))?,
+                                );
+                                self.pos += 4;
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        let c = rest.chars().next().expect("non-empty");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, JsonError> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                fields.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(self.err("expected `,` or `}`")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, JsonError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.err("expected `,` or `]`")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::error("PLC001", "hoisted read of `p->x` crosses a killing write")
+            .in_func("walk")
+            .with_label(Label(4), "read inserted before this statement")
+            .with_label(Label(9), "offending write of base `p`")
+            .with_note("re-derived from rw-sets of the pre-optimization IR")
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let r = sample().render();
+        assert!(r.contains("error[PLC001]"));
+        assert!(r.contains("in `walk`"));
+        assert!(r.contains("S4"));
+        assert!(r.contains("S9"));
+        assert!(r.contains("note:"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let d = sample();
+        assert_eq!(Diagnostic::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn json_round_trips_with_escapes_and_no_func() {
+        let d = Diagnostic::warning("RACE002", "tab\there \"quoted\" back\\slash\nnewline")
+            .with_note("unicode: λ → ∀");
+        assert_eq!(Diagnostic::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn json_array_round_trips() {
+        let batch = vec![
+            sample(),
+            Diagnostic::note("RACE000", "forall is independent"),
+        ];
+        let enc = to_json_array(&batch);
+        assert_eq!(from_json_array(&enc).unwrap(), batch);
+        assert_eq!(from_json_array("[]").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Diagnostic::from_json("{").is_err());
+        assert!(Diagnostic::from_json("[]").is_err());
+        assert!(Diagnostic::from_json("{\"code\":3}").is_err());
+        assert!(from_json_array("{\"code\":3}").is_err());
+        let bad_sev = "{\"code\":\"X\",\"severity\":\"fatal\",\"func\":null,\
+                       \"message\":\"m\",\"labels\":[],\"notes\":[]}";
+        assert!(Diagnostic::from_json(bad_sev).is_err());
+    }
+
+    #[test]
+    fn severity_ordering_puts_errors_last() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

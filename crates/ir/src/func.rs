@@ -202,7 +202,8 @@ impl Program {
     /// Panics if `id` is out of range or the name changes.
     pub fn set_struct_def(&mut self, id: StructId, def: StructDef) {
         assert_eq!(
-            self.structs[id.index()].name, def.name,
+            self.structs[id.index()].name,
+            def.name,
             "set_struct_def must preserve the name"
         );
         self.structs[id.index()] = def;

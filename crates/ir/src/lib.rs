@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod builder;
+pub mod diag;
 pub mod func;
 pub mod pretty;
 pub mod stmt;
@@ -62,11 +63,15 @@ pub mod types;
 pub mod validate;
 pub mod var;
 
+pub use diag::{DiagLabel, Diagnostic, Severity};
 pub use func::{FuncId, Function, Program};
 pub use stmt::{
     AtTarget, Basic, BinOp, BlkDir, Builtin, Cond, Const, DerefAccess, Label, MemRef, Operand,
     Place, Rvalue, Stmt, StmtKind, UnOp,
 };
 pub use types::{FieldDef, FieldId, StructDef, StructId, Ty};
-pub use validate::{validate_function, validate_program, ValidateError};
+pub use validate::{
+    validate_function, validate_function_diags, validate_program, validate_program_diags,
+    ValidateError,
+};
 pub use var::{Locality, VarDecl, VarId, VarOrigin};

@@ -6,9 +6,7 @@
 //! printed `s.f` and local dereferences `p->f`.
 
 use crate::func::{FuncId, Function, Program};
-use crate::stmt::{
-    AtTarget, Basic, BlkDir, Cond, MemRef, Operand, Place, Rvalue, Stmt, StmtKind,
-};
+use crate::stmt::{AtTarget, Basic, BlkDir, Cond, MemRef, Operand, Place, Rvalue, Stmt, StmtKind};
 use crate::types::StructId;
 use std::fmt::Write;
 
@@ -116,7 +114,12 @@ impl Printer<'_> {
                 format!("{}{} {}", ty_name(self.prog, d.ty), loc, d.name)
             })
             .collect();
-        let _ = writeln!(self.out, "{ret} {}({}) {{", self.func.name, params.join(", "));
+        let _ = writeln!(
+            self.out,
+            "{ret} {}({}) {{",
+            self.func.name,
+            params.join(", ")
+        );
         self.level += 1;
         // Declarations for non-parameter variables.
         for (v, d) in self.func.iter_vars() {
@@ -128,7 +131,12 @@ impl Printer<'_> {
                 (false, true) => "local ",
                 _ => "",
             };
-            self.line(&format!("{}{} {};", quals, ty_name(self.prog, d.ty), d.name));
+            self.line(&format!(
+                "{}{} {};",
+                quals,
+                ty_name(self.prog, d.ty),
+                d.name
+            ));
         }
         self.stmt_children_of_body();
         self.level -= 1;
@@ -332,12 +340,9 @@ impl Printer<'_> {
                 };
                 format!("{sym}{}", self.operand(*a))
             }
-            Rvalue::Binary(op, a, b) => format!(
-                "{} {} {}",
-                self.operand(*a),
-                op.symbol(),
-                self.operand(*b)
-            ),
+            Rvalue::Binary(op, a, b) => {
+                format!("{} {} {}", self.operand(*a), op.symbol(), self.operand(*b))
+            }
             Rvalue::Load(m) => self.memref(*m),
             Rvalue::Malloc { struct_id, on } => match on {
                 Some(o) => format!(
@@ -364,7 +369,12 @@ impl Printer<'_> {
                 };
                 format!("{d} = {};", self.rvalue(src))
             }
-            Basic::Call { dst, func, args, at } => {
+            Basic::Call {
+                dst,
+                func,
+                args,
+                at,
+            } => {
                 let callee = self.prog.function(*func).name.clone();
                 let args_s: Vec<String> = args.iter().map(|a| self.operand(*a)).collect();
                 let at_s = match at {
@@ -387,7 +397,12 @@ impl Printer<'_> {
                 Some(o) => format!("return {};", self.operand(*o)),
                 None => "return;".into(),
             },
-            Basic::BlkMov { dir, ptr, buf, range } => {
+            Basic::BlkMov {
+                dir,
+                ptr,
+                buf,
+                range,
+            } => {
                 let p = self.func.var(*ptr).name.clone();
                 let b = self.func.var(*buf).name.clone();
                 let size = match range {

@@ -270,7 +270,10 @@ pub enum Rvalue {
         on: Option<Operand>,
     },
     /// `dst = builtin(args...)`
-    Builtin { builtin: Builtin, args: Vec<Operand> },
+    Builtin {
+        builtin: Builtin,
+        args: Vec<Operand>,
+    },
     /// `dst = valueof(&shared_var)` — atomic read of a shared variable.
     ValueOf(VarId),
 }

@@ -1,0 +1,71 @@
+//! # earth-lint — translation validator and parallel-soundness linter
+//!
+//! Static checks layered on top of the communication-optimization pipeline
+//! of the Zhu & Hendren (PLDI 1998) reproduction:
+//!
+//! * [`verify`] — the **placement translation validator**: replays
+//!   communication selection for every function and independently
+//!   re-derives, from the pre-optimization IR and the
+//!   [`MotionLog`](earth_commopt::MotionLog), that no statement between a
+//!   moved operation's new and original placement invalidates it
+//!   (diagnostic codes `PLC001`–`PLC005`);
+//! * [`races`] — the **parallel-soundness linter**: classifies every
+//!   `forall` and parallel sequence as *provably independent* or *possibly
+//!   racy* (codes `PAR000`–`PAR004`).
+//!
+//! Both produce [`earth_ir::Diagnostic`]s, renderable as pretty terminal
+//! output or machine-readable JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! let prog = earth_frontend::compile(r#"
+//!     struct Point { double x; double y; };
+//!     double distance(Point *p) {
+//!         double d;
+//!         d = sqrt(p->x * p->x + p->y * p->y);
+//!         return d;
+//!     }
+//! "#).unwrap();
+//! let cfg = earth_commopt::CommOptConfig::default();
+//! // The optimizer's own motions validate cleanly...
+//! assert!(earth_lint::verify_program(&prog, &cfg).is_empty());
+//! // ... and a sequential function has no parallel constructs to lint.
+//! assert!(earth_lint::lint_program(&prog).verdicts.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod races;
+pub mod verify;
+
+pub use races::{lint_function, lint_program, ConstructVerdict, LintReport, ParallelConstruct};
+pub use verify::verify_motions;
+
+use earth_commopt::{analyze_placement, select, CommOptConfig};
+use earth_ir::{Diagnostic, Program};
+
+/// Replays communication selection for every function of the
+/// **unoptimized** `prog` and validates the resulting motion logs.
+///
+/// Returns every violation found; an empty vector certifies that all the
+/// motions the optimizer would perform under `cfg` are translation-safe.
+pub fn verify_program(prog: &Program, cfg: &CommOptConfig) -> Vec<Diagnostic> {
+    let analysis = earth_analysis::analyze(prog);
+    let mut out = Vec::new();
+    for (fid, f) in prog.iter_functions() {
+        let fa = analysis.function(fid);
+        // `select` adds temporaries to its function; the body (and thus
+        // every original label) is untouched until `apply_plan`.
+        let mut func = f.clone();
+        let placement = analyze_placement(&func, fa, &cfg.freq);
+        let plan = select(prog, &mut func, fa, &placement, cfg);
+        out.extend(
+            verify::verify_motions(&func, fa, &plan.motion)
+                .into_iter()
+                .map(|d| d.in_func(&f.name)),
+        );
+    }
+    out
+}

@@ -1,0 +1,379 @@
+//! Placement translation validator.
+//!
+//! Given the **pre-optimization** function, its analysis results, and the
+//! [`MotionLog`] selection produced, this module independently re-derives the
+//! safety of every motion. The transformer keeps original statement labels,
+//! so the log's `from_labels`/`to_label` identify statements of the
+//! unoptimized body.
+//!
+//! For every motion the validator computes the *window*: the set of basic
+//! statements that may execute between the new placement point and the
+//! original access sites (for read motions) or between the original stores
+//! and the delayed flush (for block write-backs). Statements whose accesses
+//! were themselves rewritten by the plan are exempt — after transformation
+//! they touch only local temporaries and buffers. Every other statement in
+//! the window must neither redefine the base pointer nor access the remote
+//! region in a conflicting way:
+//!
+//! | code     | meaning                                                      |
+//! |----------|--------------------------------------------------------------|
+//! | `PLC001` | base pointer redefined between a read's issue and its use    |
+//! | `PLC002` | connected region written between a read's issue and its use  |
+//! | `PLC003` | base pointer redefined before a buffered write-back flushed  |
+//! | `PLC004` | connected region accessed while writes were still buffered   |
+//! | `PLC005` | malformed motion entry (unknown or empty label sets)         |
+//!
+//! The window computation walks the structured statement tree in execution
+//! order. Loops already crossed by an active window contribute their whole
+//! subtree (a later iteration may execute any of it between issue and use);
+//! branches of a conditional are pruned path-sensitively (a branch that
+//! contains no covered access and leads to no later one cannot lie on an
+//! issue-to-use path); `ParSeq` arms run concurrently with an active window
+//! and are included wholesale.
+
+use earth_analysis::{AccessKind, FunctionAnalysis};
+use earth_commopt::{Motion, MotionKind, MotionLog};
+use earth_ir::{Diagnostic, Function, Label, Stmt, StmtKind};
+use std::collections::BTreeSet;
+
+/// Validates every motion in `log` against the pre-optimization `func`.
+///
+/// Returns one diagnostic per violation; an empty vector means every motion
+/// has been independently re-derived as safe.
+pub fn verify_motions(func: &Function, fa: &FunctionAnalysis, log: &MotionLog) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let valid: BTreeSet<Label> = func.body.labels().into_iter().collect();
+    // Labels rewritten by the plan: after transformation these statements
+    // access only communication temporaries and block buffers.
+    let rewritten: BTreeSet<Label> = log
+        .iter()
+        .flat_map(|m| m.from_labels.iter().copied())
+        .collect();
+
+    for m in log {
+        if m.from_labels.is_empty()
+            || !valid.contains(&m.to_label)
+            || m.from_labels.iter().any(|l| !valid.contains(l))
+        {
+            diags.push(
+                Diagnostic::error(
+                    "PLC005",
+                    format!("malformed motion: {} (unknown or empty labels)", m),
+                )
+                .with_label(m.to_label, "anchor of this motion"),
+            );
+            continue;
+        }
+        let window = match m.kind {
+            MotionKind::PipelinedRead | MotionKind::RedundantReuse | MotionKind::BlockRead => {
+                window_labels(
+                    &func.body,
+                    &[m.to_label].into(),
+                    m.before,
+                    &m.from_labels,
+                    false,
+                )
+            }
+            MotionKind::BlockWriteback => window_labels(
+                &func.body,
+                &m.from_labels,
+                false,
+                &[m.to_label].into(),
+                m.before,
+            ),
+        };
+        for &l in window.difference(&rewritten) {
+            check_label(func, fa, m, l, &mut diags);
+        }
+    }
+    diags
+}
+
+/// Applies the kill predicates for motion `m` at window label `l`.
+fn check_label(
+    func: &Function,
+    fa: &FunctionAnalysis,
+    m: &Motion,
+    l: Label,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let base_name = &func.var(m.base).name;
+    match m.kind {
+        MotionKind::PipelinedRead | MotionKind::RedundantReuse | MotionKind::BlockRead => {
+            if fa.var_written(m.base, l) {
+                diags.push(
+                    Diagnostic::error(
+                        "PLC001",
+                        format!(
+                            "base pointer `{base_name}` is redefined between the hoisted \
+                             read at {} and a covered use",
+                            m.to_label
+                        ),
+                    )
+                    .with_label(l, "redefinition here")
+                    .with_label(m.to_label, "read issued here")
+                    .with_note(format!("motion: {m}")),
+                );
+            }
+            if fa.heap_conflict(m.base, m.field, l, AccessKind::Write) {
+                diags.push(
+                    Diagnostic::error(
+                        "PLC002",
+                        format!(
+                            "region reachable from `{base_name}` may be written between \
+                             the hoisted read at {} and a covered use",
+                            m.to_label
+                        ),
+                    )
+                    .with_label(l, "conflicting write here")
+                    .with_label(m.to_label, "read issued here")
+                    .with_note(format!("motion: {m}")),
+                );
+            }
+        }
+        MotionKind::BlockWriteback => {
+            if fa.var_written(m.base, l) {
+                diags.push(
+                    Diagnostic::error(
+                        "PLC003",
+                        format!(
+                            "base pointer `{base_name}` is redefined before the buffered \
+                             writes are flushed at {}",
+                            m.to_label
+                        ),
+                    )
+                    .with_label(l, "redefinition here")
+                    .with_label(m.to_label, "write-back anchored here")
+                    .with_note(format!("motion: {m}")),
+                );
+            }
+            if fa.heap_conflict(m.base, None, l, AccessKind::ReadOrWrite) {
+                diags.push(
+                    Diagnostic::error(
+                        "PLC004",
+                        format!(
+                            "region reachable from `{base_name}` may be accessed while \
+                             its writes are buffered (flush at {})",
+                            m.to_label
+                        ),
+                    )
+                    .with_label(l, "conflicting access here")
+                    .with_label(m.to_label, "write-back anchored here")
+                    .with_note(format!("motion: {m}")),
+                );
+            }
+        }
+    }
+}
+
+/// Computes the window between `starts` and `ends` over the structured body.
+///
+/// Activation happens at the first start label (before its statement when
+/// `start_before`, after it otherwise); the window closes once every end has
+/// been seen (before the end node when `end_before` — the write-back flush
+/// precedes its anchor — after it otherwise).
+fn window_labels(
+    body: &Stmt,
+    starts: &BTreeSet<Label>,
+    start_before: bool,
+    ends: &BTreeSet<Label>,
+    end_before: bool,
+) -> BTreeSet<Label> {
+    let mut c = Collector {
+        starts: starts.clone(),
+        start_before,
+        ends: ends.clone(),
+        end_before,
+        active: false,
+        out: BTreeSet::new(),
+    };
+    c.walk(body);
+    c.out
+}
+
+struct Collector {
+    starts: BTreeSet<Label>,
+    start_before: bool,
+    /// Ends not yet reached.
+    ends: BTreeSet<Label>,
+    end_before: bool,
+    active: bool,
+    out: BTreeSet<Label>,
+}
+
+impl Collector {
+    fn has_start(&self, s: &Stmt) -> bool {
+        let mut found = false;
+        s.walk(&mut |st| {
+            if self.starts.contains(&st.label) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Includes every basic statement of the subtree in the window and
+    /// consumes any ends inside it (used for loops crossed while active and
+    /// for `ParSeq` arms concurrent with the window).
+    fn add_all(&mut self, s: &Stmt) {
+        s.walk(&mut |st| {
+            if matches!(st.kind, StmtKind::Basic(_)) {
+                self.out.insert(st.label);
+            }
+        });
+        for l in s.labels() {
+            self.ends.remove(&l);
+        }
+        if self.active && self.ends.is_empty() {
+            self.active = false;
+        }
+    }
+
+    fn walk(&mut self, s: &Stmt) {
+        if self.ends.is_empty() {
+            self.active = false;
+            return;
+        }
+        if self.starts.contains(&s.label) && self.start_before {
+            self.active = true;
+        }
+        if self.ends.contains(&s.label) && self.end_before {
+            // The window closes just before this node (write-back flush).
+            self.ends.remove(&s.label);
+            if self.ends.is_empty() {
+                self.active = false;
+                return;
+            }
+        }
+        let is_compound_start = self.starts.contains(&s.label) && !self.start_before;
+        match &s.kind {
+            StmtKind::Basic(_) => {
+                if self.active {
+                    self.out.insert(s.label);
+                }
+                if self.ends.remove(&s.label) && self.ends.is_empty() {
+                    self.active = false;
+                }
+                if self.starts.contains(&s.label) && !self.start_before {
+                    self.active = true;
+                }
+                return;
+            }
+            StmtKind::Seq(ss) => {
+                for c in ss {
+                    self.walk(c);
+                }
+            }
+            StmtKind::ParSeq(ss) => {
+                if self.active {
+                    // All arms run concurrently with the open window.
+                    for c in ss {
+                        self.add_all(c);
+                    }
+                } else if self.has_start(s) {
+                    // Arms not holding the start run concurrently with the
+                    // issue point: include them wholesale.
+                    let holds: Vec<bool> = ss.iter().map(|c| self.has_start(c)).collect();
+                    for (c, h) in ss.iter().zip(holds) {
+                        if h {
+                            self.walk(c);
+                        } else {
+                            self.add_all(c);
+                        }
+                    }
+                } else {
+                    for c in ss {
+                        self.walk(c);
+                    }
+                }
+            }
+            StmtKind::If { then_s, else_s, .. } => {
+                self.branches(&[then_s, else_s]);
+            }
+            StmtKind::Switch { cases, default, .. } => {
+                let mut branches: Vec<&Stmt> = cases.iter().map(|(_, s)| s).collect();
+                branches.push(default);
+                self.branches(&branches);
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                if self.active {
+                    // A later iteration may execute any statement of the
+                    // loop between issue and use: take the whole subtree.
+                    self.add_all(s);
+                } else {
+                    self.walk(body);
+                }
+            }
+            StmtKind::Forall {
+                init, step, body, ..
+            } => {
+                if self.active {
+                    self.add_all(s);
+                } else {
+                    self.walk(init);
+                    self.walk(body);
+                    self.walk(step);
+                }
+            }
+        }
+        if is_compound_start {
+            self.active = true;
+            if self.ends.is_empty() {
+                self.active = false;
+            }
+        }
+    }
+
+    /// Path-sensitive handling of conditional branches.
+    fn branches(&mut self, branches: &[&Stmt]) {
+        if self.active {
+            // Branches are mutually exclusive: a statement in one branch is
+            // never between the issue point and a use in a sibling branch.
+            // Walk each branch with its own end set (plus any ends past the
+            // conditional, which every branch leads to).
+            let mut inside: BTreeSet<Label> = BTreeSet::new();
+            for b in branches {
+                b.walk(&mut |st| {
+                    if self.ends.contains(&st.label) {
+                        inside.insert(st.label);
+                    }
+                });
+            }
+            let outside: BTreeSet<Label> = self.ends.difference(&inside).copied().collect();
+            let downstream = !outside.is_empty();
+            for b in branches {
+                let mut b_ends: BTreeSet<Label> = BTreeSet::new();
+                b.walk(&mut |st| {
+                    if inside.contains(&st.label) {
+                        b_ends.insert(st.label);
+                    }
+                });
+                if b_ends.is_empty() && !downstream {
+                    continue;
+                }
+                self.ends = b_ends.union(&outside).copied().collect();
+                self.active = true;
+                self.walk(b);
+            }
+            self.active = !outside.is_empty();
+            self.ends = outside;
+        } else if branches.iter().any(|b| self.has_start(b)) {
+            // The issue point sits in one branch; sibling branches are
+            // alternative paths that never see the issued operation.
+            let holds: Vec<bool> = branches.iter().map(|b| self.has_start(b)).collect();
+            for (b, h) in branches.iter().zip(holds) {
+                if h {
+                    self.walk(b);
+                } else {
+                    for l in b.labels() {
+                        self.ends.remove(&l);
+                    }
+                }
+            }
+        } else {
+            for b in branches {
+                self.walk(b);
+            }
+        }
+    }
+}

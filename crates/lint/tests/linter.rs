@@ -1,0 +1,219 @@
+//! Parallel-soundness linter integration tests.
+
+use earth_ir::diag;
+use earth_lint::{lint_program, ParallelConstruct};
+
+fn compile(src: &str) -> earth_ir::Program {
+    earth_frontend::compile(src).expect("test source compiles")
+}
+
+#[test]
+fn count_forall_is_provably_independent() {
+    // The paper's Figure 1(a): the shared counter is accessed atomically,
+    // every other written variable is iteration-private.
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../programs/count.ec"
+    ))
+    .unwrap();
+    let report = lint_program(&compile(&src));
+    let forall = report
+        .verdicts
+        .iter()
+        .find(|v| v.construct == ParallelConstruct::Forall && v.func == "count")
+        .expect("count has a forall");
+    assert!(
+        forall.independent,
+        "{}",
+        diag::render_all(&report.diagnostics)
+    );
+}
+
+#[test]
+fn treesum_parseq_is_provably_independent() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../programs/treesum.ec"
+    ))
+    .unwrap();
+    let report = lint_program(&compile(&src));
+    let parseq = report
+        .verdicts
+        .iter()
+        .find(|v| v.construct == ParallelConstruct::ParSeq && v.func == "sum")
+        .expect("sum has a parallel sequence");
+    assert!(
+        parseq.independent,
+        "{}",
+        diag::render_all(&report.diagnostics)
+    );
+}
+
+#[test]
+fn seeded_racy_forall_is_flagged() {
+    // `s = s + p->v` reads `s` before writing it: a loop-carried
+    // dependence across concurrent iterations.
+    let report = lint_program(&compile(
+        r#"
+        struct node { node* next; int v; };
+        int sum(node *head) {
+            node *p;
+            int s;
+            s = 0;
+            forall (p = head; p != NULL; p = p->next) {
+                s = s + p->v;
+            }
+            return s;
+        }
+        "#,
+    ));
+    assert!(report.diagnostics.iter().any(|d| d.code == "PAR002"));
+    let forall = report
+        .verdicts
+        .iter()
+        .find(|v| v.construct == ParallelConstruct::Forall)
+        .unwrap();
+    assert!(!forall.independent);
+}
+
+#[test]
+fn seeded_racy_heap_write_is_flagged() {
+    // Every iteration writes through the shared cursor's region.
+    let report = lint_program(&compile(
+        r#"
+        struct node { node* next; int v; };
+        void clear(node *head) {
+            node *p;
+            forall (p = head; p != NULL; p = p->next) {
+                p->v = 0;
+            }
+        }
+        "#,
+    ));
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "PAR001"),
+        "{}",
+        diag::render_all(&report.diagnostics)
+    );
+}
+
+#[test]
+fn write_before_read_temporary_is_private() {
+    // `t` is written before it is read on every path: privatizable.
+    let report = lint_program(&compile(
+        r#"
+        struct node { node* next; int v; };
+        int scan(node *head) {
+            node *p;
+            int t;
+            shared int acc;
+            writeto(&acc, 0);
+            forall (p = head; p != NULL; p = p->next) {
+                t = p->v;
+                if (t > 0) {
+                    addto(&acc, t);
+                }
+            }
+            return valueof(&acc);
+        }
+        "#,
+    ));
+    let forall = report
+        .verdicts
+        .iter()
+        .find(|v| v.construct == ParallelConstruct::Forall)
+        .unwrap();
+    assert!(
+        forall.independent,
+        "{}",
+        diag::render_all(&report.diagnostics)
+    );
+}
+
+#[test]
+fn parseq_stack_conflict_is_flagged() {
+    let report = lint_program(&compile(
+        r#"
+        struct P { int v; };
+        int pick(int a, int b) { return a + b; }
+        int f(int a, int b) {
+            int x;
+            {^
+                x = pick(a, a);
+                x = pick(b, b);
+            ^}
+            return x;
+        }
+        "#,
+    ));
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "PAR004"),
+        "{}",
+        diag::render_all(&report.diagnostics)
+    );
+}
+
+#[test]
+fn parseq_heap_conflict_is_flagged() {
+    let report = lint_program(&compile(
+        r#"
+        struct P { int v; int w; };
+        void poke(P *p) { p->v = 1; }
+        int peek(P *p) { return p->v; }
+        int f(P *p) {
+            int a;
+            {^
+                poke(p);
+                a = peek(p);
+            ^}
+            return a;
+        }
+        "#,
+    ));
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "PAR003"),
+        "{}",
+        diag::render_all(&report.diagnostics)
+    );
+}
+
+#[test]
+fn olden_kernels_get_reasoned_verdicts() {
+    // Every parallel construct in the suite must be classified — either
+    // provably independent, or possibly racy with at least one warning
+    // explaining why.
+    for bench in earth_olden::suite() {
+        let report = lint_program(&compile(bench.source));
+        assert!(
+            !report.verdicts.is_empty(),
+            "{}: expected at least one parallel construct",
+            bench.name
+        );
+        for v in &report.verdicts {
+            if !v.independent {
+                let has_reason = report.diagnostics.iter().any(|d| {
+                    d.severity == earth_ir::Severity::Warning
+                        && d.labels.iter().any(|l| l.label == v.label)
+                });
+                assert!(
+                    has_reason,
+                    "{}: racy verdict for {} at {} lacks a warning",
+                    bench.name,
+                    v.construct.name(),
+                    v.label
+                );
+            }
+        }
+        // Verdict notes are always present.
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == "PAR000")
+                .count(),
+            report.verdicts.len(),
+            "{}",
+            bench.name
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! Translation-validator integration tests: the optimizer's own motions on
+//! every example program and Olden benchmark must verify cleanly, while
+//! hand-written unsound motions must be caught.
+
+use earth_commopt::{CommOptConfig, Motion, MotionKind, MotionLog};
+use earth_ir::{diag, FieldId, Label};
+use earth_lint::{verify_motions, verify_program};
+
+fn compile(src: &str) -> earth_ir::Program {
+    earth_frontend::compile(src).expect("test source compiles")
+}
+
+#[test]
+fn example_programs_verify_cleanly() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../programs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("programs directory") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ec") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let prog = compile(&src);
+        let violations = verify_program(&prog, &CommOptConfig::default());
+        assert!(
+            violations.is_empty(),
+            "{}: {}",
+            path.display(),
+            diag::render_all(&violations)
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected the example programs, found {checked}"
+    );
+}
+
+#[test]
+fn olden_suite_verifies_cleanly() {
+    for bench in earth_olden::suite() {
+        let prog = compile(bench.source);
+        let violations = verify_program(&prog, &CommOptConfig::default());
+        assert!(
+            violations.is_empty(),
+            "{}: {}",
+            bench.name,
+            diag::render_all(&violations)
+        );
+        // The conservative build must validate too.
+        let cfg = CommOptConfig {
+            speculative_remote_ok: false,
+            ..CommOptConfig::default()
+        };
+        let violations = verify_program(&prog, &cfg);
+        assert!(violations.is_empty(), "{} (conservative)", bench.name);
+    }
+}
+
+#[test]
+fn paper_figures_verify_cleanly() {
+    for src in [
+        // Figure 3: distance.
+        r#"
+        struct Point { double x; double y; };
+        double distance(Point *p) {
+            double d;
+            d = sqrt(p->x * p->x + p->y * p->y);
+            return d;
+        }
+        "#,
+        // Figure 4: scale_point (blocking with write-back).
+        r#"
+        struct Point { double x; double y; };
+        double scale(double v, double k) { return v * k; }
+        void scale_point(Point *p, double k) {
+            p->x = scale(p->x, k);
+            p->y = scale(p->y, k);
+        }
+        "#,
+        // Figure 8: closest-point loop (pipelining + blocking + reuse).
+        r#"
+        struct Point { Point* next; double x; double y; };
+        double f(double ax, double ay, double bx, double by) {
+            return (ax - bx) * (ax - bx) + (ay - by) * (ay - by);
+        }
+        double closest(Point *head, Point *t, double epsilon) {
+            Point *p;
+            Point *close;
+            double ax; double ay; double bx; double by;
+            double dist; double cx; double tx; double diffx;
+            double cy; double ty; double diffy;
+            close = head;
+            p = head;
+            while (p != NULL) {
+                ax = p->x;
+                ay = p->y;
+                bx = t->x;
+                by = t->y;
+                dist = f(ax, ay, bx, by);
+                if (dist < epsilon) { close = p; }
+                p = p->next;
+            }
+            cx = close->x;
+            tx = t->x;
+            diffx = cx - tx;
+            cy = close->y;
+            ty = t->y;
+            diffy = cy - ty;
+            return diffx * diffx + diffy * diffy;
+        }
+        "#,
+    ] {
+        let prog = compile(src);
+        let violations = verify_program(&prog, &CommOptConfig::default());
+        assert!(violations.is_empty(), "{}", diag::render_all(&violations));
+    }
+}
+
+/// Finds the labels of the (ordered) remote loads of `field` via `base` in
+/// function `name`, plus the analysis for the function.
+fn loads_of(
+    prog: &earth_ir::Program,
+    name: &str,
+    base: &str,
+    field: FieldId,
+) -> (Vec<Label>, earth_analysis::FunctionAnalysis) {
+    let fid = prog.function_by_name(name).unwrap();
+    let f = prog.function(fid);
+    let b = f.var_by_name(base).unwrap();
+    let labels = f
+        .basic_stmts()
+        .iter()
+        .filter(|(_, s)| {
+            s.deref_access()
+                .is_some_and(|a| a.base == b && a.field == Some(field) && !a.is_write)
+        })
+        .map(|(l, _)| *l)
+        .collect();
+    let analysis = earth_analysis::analyze(prog);
+    (labels, analysis.function(fid).clone())
+}
+
+#[test]
+fn unsound_motion_across_aliased_write_is_caught() {
+    // `q->x = 0.0` kills a read of `p->x` hoisted across it (q aliases p).
+    let prog = compile(
+        r#"
+        struct P { double x; double y; };
+        double f(P *p) {
+            P *q;
+            double a; double b;
+            q = p;
+            a = p->x;
+            q->x = 0.0;
+            b = p->x;
+            return a + b;
+        }
+        "#,
+    );
+    let fid = prog.function_by_name("f").unwrap();
+    let f = prog.function(fid);
+    let (loads, fa) = loads_of(&prog, "f", "p", FieldId(0));
+    assert_eq!(loads.len(), 2);
+    let log = MotionLog {
+        motions: vec![Motion {
+            base: f.var_by_name("p").unwrap(),
+            base_name: "p".into(),
+            field: Some(FieldId(0)),
+            from_labels: [loads[1]].into(),
+            to_label: loads[0],
+            before: true,
+            kind: MotionKind::PipelinedRead,
+            reason: "deliberately unsound test motion".into(),
+        }],
+    };
+    let violations = verify_motions(f, &fa, &log);
+    assert!(
+        violations.iter().any(|d| d.code == "PLC002"),
+        "expected PLC002, got: {}",
+        diag::render_all(&violations)
+    );
+    // The diagnostic names the offending statement (the aliased store).
+    let plc2 = violations.iter().find(|d| d.code == "PLC002").unwrap();
+    assert!(!plc2.labels.is_empty());
+}
+
+#[test]
+fn unsound_motion_across_base_redefinition_is_caught() {
+    let prog = compile(
+        r#"
+        struct P { double x; double y; };
+        double f(P *p, P *r) {
+            double a; double b;
+            a = p->x;
+            p = r;
+            b = p->x;
+            return a + b;
+        }
+        "#,
+    );
+    let fid = prog.function_by_name("f").unwrap();
+    let f = prog.function(fid);
+    let (loads, fa) = loads_of(&prog, "f", "p", FieldId(0));
+    assert_eq!(loads.len(), 2);
+    let log = MotionLog {
+        motions: vec![Motion {
+            base: f.var_by_name("p").unwrap(),
+            base_name: "p".into(),
+            field: Some(FieldId(0)),
+            from_labels: [loads[1]].into(),
+            to_label: loads[0],
+            before: true,
+            kind: MotionKind::RedundantReuse,
+            reason: "deliberately unsound test motion".into(),
+        }],
+    };
+    let violations = verify_motions(f, &fa, &log);
+    assert!(
+        violations.iter().any(|d| d.code == "PLC001"),
+        "expected PLC001, got: {}",
+        diag::render_all(&violations)
+    );
+}
+
+#[test]
+fn unsound_writeback_across_aliased_read_is_caught() {
+    // An aliased read between the buffered store and the delayed flush
+    // would observe the stale pre-span value.
+    let prog = compile(
+        r#"
+        struct P { double x; double y; };
+        double f(P *p) {
+            P *q;
+            double a;
+            q = p;
+            p->x = 1.0;
+            a = q->y;
+            p->y = 2.0;
+            return a;
+        }
+        "#,
+    );
+    let fid = prog.function_by_name("f").unwrap();
+    let f = prog.function(fid);
+    let p = f.var_by_name("p").unwrap();
+    let stores: Vec<Label> = f
+        .basic_stmts()
+        .iter()
+        .filter(|(_, s)| s.deref_access().is_some_and(|a| a.base == p && a.is_write))
+        .map(|(l, _)| *l)
+        .collect();
+    assert_eq!(stores.len(), 2);
+    let analysis = earth_analysis::analyze(&prog);
+    let log = MotionLog {
+        motions: vec![Motion {
+            base: p,
+            base_name: "p".into(),
+            field: None,
+            from_labels: stores.iter().copied().collect(),
+            to_label: stores[1],
+            before: false,
+            kind: MotionKind::BlockWriteback,
+            reason: "deliberately unsound test motion".into(),
+        }],
+    };
+    let violations = verify_motions(f, analysis.function(fid), &log);
+    assert!(
+        violations.iter().any(|d| d.code == "PLC004"),
+        "expected PLC004, got: {}",
+        diag::render_all(&violations)
+    );
+}
+
+#[test]
+fn malformed_motion_is_caught() {
+    let prog = compile(
+        r#"
+        struct P { double x; };
+        double f(P *p) { return p->x; }
+        "#,
+    );
+    let fid = prog.function_by_name("f").unwrap();
+    let f = prog.function(fid);
+    let analysis = earth_analysis::analyze(&prog);
+    let log = MotionLog {
+        motions: vec![Motion {
+            base: f.var_by_name("p").unwrap(),
+            base_name: "p".into(),
+            field: Some(FieldId(0)),
+            from_labels: [Label(999)].into(),
+            to_label: Label(998),
+            before: true,
+            kind: MotionKind::PipelinedRead,
+            reason: "labels do not exist".into(),
+        }],
+    };
+    let violations = verify_motions(f, analysis.function(fid), &log);
+    assert!(violations.iter().any(|d| d.code == "PLC005"));
+}
+
+#[test]
+fn violations_round_trip_through_json() {
+    let prog = compile(
+        r#"
+        struct P { double x; double y; };
+        double f(P *p, P *r) {
+            double a; double b;
+            a = p->x;
+            p = r;
+            b = p->x;
+            return a + b;
+        }
+        "#,
+    );
+    let fid = prog.function_by_name("f").unwrap();
+    let f = prog.function(fid);
+    let (loads, fa) = loads_of(&prog, "f", "p", FieldId(0));
+    let log = MotionLog {
+        motions: vec![Motion {
+            base: f.var_by_name("p").unwrap(),
+            base_name: "p".into(),
+            field: Some(FieldId(0)),
+            from_labels: [loads[1]].into(),
+            to_label: loads[0],
+            before: true,
+            kind: MotionKind::PipelinedRead,
+            reason: "deliberately unsound test motion".into(),
+        }],
+    };
+    let violations: Vec<_> = verify_motions(f, &fa, &log)
+        .into_iter()
+        .map(|d| d.in_func("f"))
+        .collect();
+    assert!(!violations.is_empty());
+    let json = diag::to_json_array(&violations);
+    let parsed = diag::from_json_array(&json).expect("valid JSON");
+    assert_eq!(parsed, violations);
+}

@@ -85,7 +85,8 @@ pub fn suite() -> Vec<Benchmark> {
         Benchmark {
             name: "voronoi",
             source: voronoi::SOURCE,
-            description: "Divide-and-conquer diagram merge over a binary point tree (hull substitute)",
+            description:
+                "Divide-and-conquer diagram merge over a binary point tree (hull substitute)",
             args: voronoi::args,
         },
     ]

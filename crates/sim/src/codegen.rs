@@ -4,8 +4,8 @@
 use crate::bytecode::{CallAt, CompiledFunction, CompiledProgram, Op, Opnd, Pc, Slot};
 use crate::value::Value;
 use earth_ir::{
-    AtTarget, Basic, Cond, Const, Function, MemRef, Operand, Place, Program,
-    Rvalue, Stmt, StmtKind, Ty,
+    AtTarget, Basic, Cond, Const, Function, MemRef, Operand, Place, Program, Rvalue, Stmt,
+    StmtKind, Ty,
 };
 use std::fmt;
 
@@ -131,11 +131,7 @@ fn compile_function(
         name: func.name.clone(),
         ops: cg.ops,
         n_slots: cg.n_slots,
-        param_slots: func
-            .params
-            .iter()
-            .map(|p| cg.slot_of[p.index()])
-            .collect(),
+        param_slots: func.params.iter().map(|p| cg.slot_of[p.index()]).collect(),
     })
 }
 
@@ -358,7 +354,12 @@ impl FnCg<'_> {
     fn basic(&mut self, b: &Basic) -> Result<(), CodegenError> {
         match b {
             Basic::Assign { dst, src } => self.assign(dst, src),
-            Basic::Call { dst, func, args, at } => {
+            Basic::Call {
+                dst,
+                func,
+                args,
+                at,
+            } => {
                 let callee = self.prog.function(*func);
                 if args.len() != callee.params.len() {
                     return self.err(format!(
@@ -390,7 +391,12 @@ impl FnCg<'_> {
                 self.emit(Op::Ret { val });
                 Ok(())
             }
-            Basic::BlkMov { dir, ptr, buf, range } => {
+            Basic::BlkMov {
+                dir,
+                ptr,
+                buf,
+                range,
+            } => {
                 let struct_words = self.words_of_ptr(*ptr);
                 let (off, words) = range.unwrap_or((0, struct_words));
                 let buf_slot = self.slot(*buf);
@@ -457,9 +463,7 @@ impl FnCg<'_> {
                     // Whole-struct copy.
                     let words = self.prog.struct_def(sid).size_words() as u32;
                     match src {
-                        Rvalue::Use(Operand::Var(s))
-                            if self.func.var(*s).ty == dty =>
-                        {
+                        Rvalue::Use(Operand::Var(s)) if self.func.var(*s).ty == dty => {
                             self.emit(Op::CopySlots {
                                 dst: dslot,
                                 src: self.slot(*s),
@@ -528,12 +532,7 @@ impl FnCg<'_> {
             }
             Rvalue::Binary(op, a, b) => {
                 let (a, b) = (self.opnd(*a), self.opnd(*b));
-                self.emit(Op::Bin {
-                    dst,
-                    op: *op,
-                    a,
-                    b,
-                });
+                self.emit(Op::Bin { dst, op: *op, a, b });
                 Ok(())
             }
             Rvalue::Load(MemRef::Deref { base, field }) => {
@@ -647,7 +646,10 @@ mod tests {
             .ops
             .iter()
             .filter_map(|o| match o {
-                Op::Mov { dst, src: Opnd::Imm(_) } => Some(*dst),
+                Op::Mov {
+                    dst,
+                    src: Opnd::Imm(_),
+                } => Some(*dst),
                 _ => None,
             })
             .collect();
@@ -729,7 +731,9 @@ mod tests {
             .ops
             .iter()
             .find_map(|o| match o {
-                Op::Switch { table, default_pc, .. } => Some((table.clone(), *default_pc)),
+                Op::Switch {
+                    table, default_pc, ..
+                } => Some((table.clone(), *default_pc)),
                 _ => None,
             })
             .unwrap();

@@ -120,9 +120,7 @@ fn visit(f: &Function, fa: &FunctionAnalysis, s: &Stmt, report: &mut FiberReport
             }
             visit(f, fa, default, report);
         }
-        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
-            visit(f, fa, body, report)
-        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => visit(f, fa, body, report),
         StmtKind::Forall { body, .. } => visit(f, fa, body, report),
     }
 }
@@ -149,7 +147,10 @@ fn is_long_latency(f: &Function, b: &Basic) -> bool {
 
 /// Variables a statement (including compound children, via rw sets)
 /// defines / uses.
-fn defs_uses(fa: &FunctionAnalysis, l: Label) -> (BTreeSet<earth_ir::VarId>, BTreeSet<earth_ir::VarId>) {
+fn defs_uses(
+    fa: &FunctionAnalysis,
+    l: Label,
+) -> (BTreeSet<earth_ir::VarId>, BTreeSet<earth_ir::VarId>) {
     let rw = fa.rw.get(l);
     (rw.vars_written.clone(), rw.vars_read.clone())
 }
@@ -170,8 +171,7 @@ fn seq_ddg(f: &Function, fa: &FunctionAnalysis, ss: &[Stmt]) -> SeqDdg {
                     to: later.label,
                     kind: EdgeKind::Flow,
                 });
-            } else if dj.intersection(&ui).next().is_some()
-                || dj.intersection(&di).next().is_some()
+            } else if dj.intersection(&ui).next().is_some() || dj.intersection(&di).next().is_some()
             {
                 ddg.edges.push(Edge {
                     from: ss[i].label,
@@ -373,10 +373,7 @@ mod tests {
         let fid = prog.function_by_name("f").unwrap();
         let f = prog.function(fid);
         let body = &report.seqs[&f.body.label];
-        assert!(body
-            .edges
-            .iter()
-            .any(|e| e.kind == EdgeKind::Flow));
+        assert!(body.edges.iter().any(|e| e.kind == EdgeKind::Flow));
     }
 
     #[test]

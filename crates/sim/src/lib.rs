@@ -47,8 +47,8 @@
 
 pub mod bytecode;
 pub mod codegen;
-pub mod ddg;
 pub mod cost;
+pub mod ddg;
 pub mod machine;
 pub mod stats;
 pub mod value;

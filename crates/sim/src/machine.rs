@@ -69,7 +69,11 @@ pub struct SimError {
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "simulation error at t={}ns: {}", self.time_ns, self.message)
+        write!(
+            f,
+            "simulation error at t={}ns: {}",
+            self.time_ns, self.message
+        )
     }
 }
 
@@ -202,7 +206,10 @@ impl Machine {
             events: BinaryHeap::new(),
             event_seq: 0,
             stats: Stats::default(),
-            rng: cfg.seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493),
+            rng: cfg
+                .seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493),
             output: Vec::new(),
             result: None,
             finished_at: 0,
@@ -362,7 +369,10 @@ impl Machine {
             }
             Op::BlkRead { ptr, .. } => r = slot(*ptr),
             Op::BlkWrite {
-                ptr, buf, off, words,
+                ptr,
+                buf,
+                off,
+                words,
             } => {
                 r = slot(*ptr);
                 for w in *off..*off + *words {
@@ -531,7 +541,8 @@ impl Machine {
                             self.set_cell(frame, dst, Value::Uninit, ready);
                         }
                         other => {
-                            return self.err(now, format!("remote read through non-pointer {other:?}"))
+                            return self
+                                .err(now, format!("remote read through non-pointer {other:?}"))
                         }
                     }
                 }
@@ -549,14 +560,10 @@ impl Machine {
                 }
                 Op::StoreRemote { ptr, field, src } => {
                     self.stats.write_data += 1;
-                    let Some(addr) = self
-                        .cell(frame, ptr)
-                        .val
-                        .as_ptr()
-                        .map_err(|m| SimError {
-                            time_ns: now,
-                            message: m,
-                        })?
+                    let Some(addr) = self.cell(frame, ptr).val.as_ptr().map_err(|m| SimError {
+                        time_ns: now,
+                        message: m,
+                    })?
                     else {
                         return self.err(now, "remote write through NULL pointer");
                     };
@@ -577,7 +584,10 @@ impl Machine {
                     }
                 }
                 Op::BlkRead {
-                    ptr, buf, off, words,
+                    ptr,
+                    buf,
+                    off,
+                    words,
                 } => {
                     self.stats.blkmov += 1;
                     self.stats.blkmov_words += words as u64;
@@ -616,18 +626,17 @@ impl Machine {
                     }
                 }
                 Op::BlkWrite {
-                    ptr, buf, off, words,
+                    ptr,
+                    buf,
+                    off,
+                    words,
                 } => {
                     self.stats.blkmov += 1;
                     self.stats.blkmov_words += words as u64;
-                    let Some(addr) = self
-                        .cell(frame, ptr)
-                        .val
-                        .as_ptr()
-                        .map_err(|m| SimError {
-                            time_ns: now,
-                            message: m,
-                        })?
+                    let Some(addr) = self.cell(frame, ptr).val.as_ptr().map_err(|m| SimError {
+                        time_ns: now,
+                        message: m,
+                    })?
                     else {
                         return self.err(now, "blkmov write through NULL pointer");
                     };
@@ -656,23 +665,32 @@ impl Machine {
                     }
                     now += c.local_op_ns * words as u64;
                 }
-                Op::Malloc { dst, words, node: on } => {
+                Op::Malloc {
+                    dst,
+                    words,
+                    node: on,
+                } => {
                     let target = match on {
                         None => node as NodeId,
                         Some(o) => {
-                            let n = self
-                                .opnd_val(frame, &o)
-                                .as_int()
-                                .map_err(|m| SimError {
-                                    time_ns: now,
-                                    message: m,
-                                })?;
-                            
+                            let n = self.opnd_val(frame, &o).as_int().map_err(|m| SimError {
+                                time_ns: now,
+                                message: m,
+                            })?;
+
                             n.rem_euclid(self.cfg.n_nodes as i64) as NodeId
                         }
                     };
                     let index = self.heaps[target as usize].alloc(words as usize);
-                    self.set_cell(frame, dst, Value::Ptr(Addr { node: target, index }), 0);
+                    self.set_cell(
+                        frame,
+                        dst,
+                        Value::Ptr(Addr {
+                            node: target,
+                            index,
+                        }),
+                        0,
+                    );
                     now += c.malloc_ns;
                     if target as usize != node {
                         now += c.write_issue_ns;
@@ -696,25 +714,22 @@ impl Machine {
                 }
                 Op::AtomicWrite { cell, src } | Op::AtomicAdd { cell, src } => {
                     let is_add = matches!(op, Op::AtomicAdd { .. });
-                    let Some(addr) = self
-                        .cell(frame, cell)
-                        .val
-                        .as_ptr()
-                        .map_err(|m| SimError {
-                            time_ns: now,
-                            message: m,
-                        })?
+                    let Some(addr) = self.cell(frame, cell).val.as_ptr().map_err(|m| SimError {
+                        time_ns: now,
+                        message: m,
+                    })?
                     else {
                         return self.err(now, "atomic op on unallocated shared cell");
                     };
                     let v = self.opnd_val(frame, &src);
                     let new = if is_add {
-                        let old = self.heaps[addr.node as usize]
-                            .load(addr.index, 0)
-                            .map_err(|m| SimError {
-                                time_ns: now,
-                                message: m,
-                            })?;
+                        let old =
+                            self.heaps[addr.node as usize]
+                                .load(addr.index, 0)
+                                .map_err(|m| SimError {
+                                    time_ns: now,
+                                    message: m,
+                                })?;
                         Value::Int(
                             old.as_int().map_err(|m| SimError {
                                 time_ns: now,
@@ -742,14 +757,10 @@ impl Machine {
                     }
                 }
                 Op::ValueOf { dst, cell } => {
-                    let Some(addr) = self
-                        .cell(frame, cell)
-                        .val
-                        .as_ptr()
-                        .map_err(|m| SimError {
-                            time_ns: now,
-                            message: m,
-                        })?
+                    let Some(addr) = self.cell(frame, cell).val.as_ptr().map_err(|m| SimError {
+                        time_ns: now,
+                        message: m,
+                    })?
                     else {
                         return self.err(now, "valueof on unallocated shared cell");
                     };
@@ -788,18 +799,14 @@ impl Machine {
                                 return self.err(now, "OWNER_OF(NULL)");
                             }
                             other => {
-                                return self
-                                    .err(now, format!("OWNER_OF of non-pointer {other:?}"))
+                                return self.err(now, format!("OWNER_OF of non-pointer {other:?}"))
                             }
                         },
                         CallAt::Node(o) => {
-                            let n = self
-                                .opnd_val(frame, &o)
-                                .as_int()
-                                .map_err(|m| SimError {
-                                    time_ns: now,
-                                    message: m,
-                                })?;
+                            let n = self.opnd_val(frame, &o).as_int().map_err(|m| SimError {
+                                time_ns: now,
+                                message: m,
+                            })?;
                             n.rem_euclid(self.cfg.n_nodes as i64) as usize
                         }
                     };
@@ -835,7 +842,7 @@ impl Machine {
                         self.schedule(now + c.remote_call_ns, child);
                         self.threads[tid as usize].state = ThreadState::Blocked;
                         self.nodes[node].eu_free_at = now;
-                self.nodes[node].busy_ns += now - span_start;
+                        self.nodes[node].busy_ns += now - span_start;
                         return Ok(());
                     }
                 }
@@ -875,8 +882,7 @@ impl Machine {
                                 return self.err(now, "owner_of(NULL)");
                             }
                             other => {
-                                return self
-                                    .err(now, format!("owner_of of non-pointer {other:?}"))
+                                return self.err(now, format!("owner_of of non-pointer {other:?}"))
                             }
                         },
                         Builtin::PrintInt => {
@@ -895,7 +901,9 @@ impl Machine {
                     self.set_cell(frame, dst, v, 0);
                 }
                 Op::Ret { val } => {
-                    let v = val.map(|o| self.opnd_val(frame, &o)).unwrap_or(Value::Int(0));
+                    let v = val
+                        .map(|o| self.opnd_val(frame, &o))
+                        .unwrap_or(Value::Int(0));
                     now += c.call_ns;
                     let popped = self.threads[tid as usize].stack.pop().expect("frame");
                     if let Some(caller) = self.threads[tid as usize].stack.last() {
@@ -910,10 +918,9 @@ impl Machine {
                         ParentLink::Root => {
                             self.threads[tid as usize].state = ThreadState::Done;
                             self.nodes[node].eu_free_at = now;
-                self.nodes[node].busy_ns += now - span_start;
+                            self.nodes[node].busy_ns += now - span_start;
                             // Completion waits for outstanding writes.
-                            self.finished_at =
-                                now.max(self.threads[tid as usize].writes_done_at);
+                            self.finished_at = now.max(self.threads[tid as usize].writes_done_at);
                             self.result = Some(v);
                             return Ok(());
                         }
@@ -921,8 +928,7 @@ impl Machine {
                             self.threads[tid as usize].state = ThreadState::Done;
                             let arrive = now + c.remote_call_ns;
                             let caller_t = &self.threads[caller as usize];
-                            let caller_frame =
-                                caller_t.stack.last().expect("caller stack").frame;
+                            let caller_frame = caller_t.stack.last().expect("caller stack").frame;
                             if let Some(slot) = dst {
                                 self.set_cell(caller_frame, slot, v, arrive);
                             }
@@ -934,7 +940,7 @@ impl Machine {
                             ct.writes_done_at = ct.writes_done_at.max(wd);
                             self.schedule(arrive, caller);
                             self.nodes[node].eu_free_at = now;
-                self.nodes[node].busy_ns += now - span_start;
+                            self.nodes[node].busy_ns += now - span_start;
                             return Ok(());
                         }
                         ParentLink::Arm(_) => {
@@ -1009,7 +1015,7 @@ impl Machine {
                         self.schedule(now, child);
                     }
                     self.nodes[node].eu_free_at = now;
-                self.nodes[node].busy_ns += now - span_start;
+                    self.nodes[node].busy_ns += now - span_start;
                     return Ok(());
                 }
                 Op::SpawnIter { body } => {
@@ -1039,7 +1045,7 @@ impl Machine {
                         self.threads[tid as usize].waiting_join = true;
                         self.threads[tid as usize].state = ThreadState::Blocked;
                         self.nodes[node].eu_free_at = now;
-                self.nodes[node].busy_ns += now - span_start;
+                        self.nodes[node].busy_ns += now - span_start;
                         return Ok(());
                     }
                     now += c.local_op_ns;
@@ -1057,7 +1063,7 @@ impl Machine {
                         }
                     }
                     self.nodes[node].eu_free_at = now;
-                self.nodes[node].busy_ns += now - span_start;
+                    self.nodes[node].busy_ns += now - span_start;
                     return Ok(());
                 }
             }

@@ -167,9 +167,12 @@ impl NodeHeap {
             .objects
             .get_mut(index as usize)
             .ok_or_else(|| format!("heap access out of range: obj {index}"))?;
-        let slice = obj
-            .get_mut(off..off + values.len())
-            .ok_or_else(|| format!("blkmov range [{off}, {}) exceeds object", off + values.len()))?;
+        let slice = obj.get_mut(off..off + values.len()).ok_or_else(|| {
+            format!(
+                "blkmov range [{off}, {}) exceeds object",
+                off + values.len()
+            )
+        })?;
         slice.copy_from_slice(values);
         Ok(())
     }

@@ -76,10 +76,7 @@ fn main() {
     println!("== RemoteReads sets (the paper's Figure 7) ==\n");
     let mut anchors = Vec::new();
     f.body.walk(&mut |s| {
-        if matches!(
-            s.kind,
-            StmtKind::Basic(_) | StmtKind::While { .. }
-        ) {
+        if matches!(s.kind, StmtKind::Basic(_) | StmtKind::While { .. }) {
             anchors.push(s.label);
         }
     });

@@ -1,19 +1,24 @@
 //! `earthcc` — command-line driver for the EARTH-C pipeline.
 //!
 //! ```text
-//! earthcc run  prog.ec [--nodes N] [--no-opt] [--no-locality] [--arg V]...
+//! earthcc run  prog.ec [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--arg V]...
 //! earthcc dump prog.ec [--simple | --optimized] [--func NAME]
 //! earthcc stats prog.ec [--nodes N] [--arg V]...   # simple vs optimized
+//! earthcc lint prog.ec [--json]        # parallel-soundness linter
+//! earthcc verify prog.ec [--json]      # placement translation validator
 //! ```
+//!
+//! `--lint` and `--verify-placement` are accepted as aliases for the `lint`
+//! and `verify` subcommands.
 
 use earthc::earth_commopt::{optimize_program, CommOptConfig};
-use earthc::earth_ir::pretty;
-use earthc::{Pipeline, Value};
+use earthc::earth_ir::{diag, pretty, Severity};
+use earthc::{earth_lint, Pipeline, Value};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  earthcc run   <file.ec> [--nodes N] [--no-opt] [--no-locality] [--entry NAME] [--arg V]...\n  earthcc dump  <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats <file.ec> [--nodes N] [--entry NAME] [--arg V]..."
+        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc verify <file.ec> [--json]"
     );
     ExitCode::from(2)
 }
@@ -28,6 +33,8 @@ struct Opts {
     func: Option<String>,
     dump_optimized: bool,
     dump_fibers: bool,
+    verify: bool,
+    json: bool,
 }
 
 fn parse_opts(rest: &[String]) -> Result<Opts, String> {
@@ -41,6 +48,8 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
         func: None,
         dump_optimized: false,
         dump_fibers: false,
+        verify: false,
+        json: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -56,6 +65,8 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             "--no-locality" => o.locality = false,
             "--optimized" => o.dump_optimized = true,
             "--fibers" => o.dump_fibers = true,
+            "--verify-placement" => o.verify = true,
+            "--json" => o.json = true,
             "--entry" => o.entry = it.next().ok_or("--entry needs a value")?.clone(),
             "--func" => o.func = Some(it.next().ok_or("--func needs a value")?.clone()),
             "--arg" => {
@@ -101,6 +112,7 @@ fn main() -> ExitCode {
             let pipeline = Pipeline::new()
                 .nodes(opts.nodes)
                 .optimizer(opts.optimize.then(CommOptConfig::default))
+                .verify(opts.verify)
                 .locality(opts.locality)
                 .entry(opts.entry.clone());
             match pipeline.run_source(&src, &opts.args) {
@@ -169,7 +181,10 @@ fn main() -> ExitCode {
                     assert_eq!(simple.ret, optimized.ret, "builds disagree");
                     println!("result:    {}", simple.ret);
                     println!("simple:    {:>12} ns | {}", simple.time_ns, simple.stats);
-                    println!("optimized: {:>12} ns | {}", optimized.time_ns, optimized.stats);
+                    println!(
+                        "optimized: {:>12} ns | {}",
+                        optimized.time_ns, optimized.stats
+                    );
                     println!(
                         "improvement: {:.2}%  comm: {} -> {}",
                         100.0 * (simple.time_ns as f64 - optimized.time_ns as f64)
@@ -183,6 +198,66 @@ fn main() -> ExitCode {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "lint" | "--lint" => {
+            let prog = match earthc::compile_earth_c(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = earth_lint::lint_program(&prog);
+            if opts.json {
+                println!("{}", diag::to_json_array(&report.diagnostics));
+            } else {
+                for v in &report.verdicts {
+                    println!(
+                        "{}: {} at {}: {}",
+                        v.func,
+                        v.construct.name(),
+                        v.label,
+                        if v.independent {
+                            "provably independent"
+                        } else {
+                            "possibly racy"
+                        }
+                    );
+                }
+                if !report.diagnostics.is_empty() {
+                    println!("{}", diag::render_all(&report.diagnostics));
+                }
+            }
+            if report.all_independent() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "verify" | "--verify-placement" => {
+            let mut prog = match earthc::compile_earth_c(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if opts.locality {
+                earthc::earth_analysis::infer_locality(&mut prog);
+            }
+            let violations = earth_lint::verify_program(&prog, &CommOptConfig::default());
+            if opts.json {
+                println!("{}", diag::to_json_array(&violations));
+            } else if violations.is_empty() {
+                println!("ok: every planned motion verified");
+            } else {
+                println!("{}", diag::render_all(&violations));
+            }
+            if violations.iter().any(|d| d.severity == Severity::Error) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             }
         }
         _ => usage(),

@@ -46,6 +46,7 @@ pub use earth_analysis;
 pub use earth_commopt;
 pub use earth_frontend;
 pub use earth_ir;
+pub use earth_lint;
 pub use earth_olden;
 pub use earth_sim;
 
@@ -61,6 +62,9 @@ use std::fmt;
 pub enum PipelineError {
     /// Lexing, parsing, or type checking failed.
     Frontend(FrontendError),
+    /// The placement translation validator rejected the optimizer's motions
+    /// (only with [`Pipeline::verify`] enabled).
+    Verify(Vec<earth_ir::Diagnostic>),
     /// Code generation or simulation failed.
     Sim(SimError),
 }
@@ -69,6 +73,13 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Frontend(e) => write!(f, "frontend: {e}"),
+            PipelineError::Verify(ds) => {
+                write!(
+                    f,
+                    "placement validation failed:\n{}",
+                    earth_ir::diag::render_all(ds)
+                )
+            }
             PipelineError::Sim(e) => write!(f, "simulation: {e}"),
         }
     }
@@ -103,6 +114,7 @@ pub fn compile_earth_c(src: &str) -> Result<Program, FrontendError> {
 pub struct Pipeline {
     nodes: u16,
     optimize: Option<CommOptConfig>,
+    verify: bool,
     infer_locality: bool,
     inline: Option<earth_commopt::InlineConfig>,
     reorder_fields: bool,
@@ -123,6 +135,7 @@ impl Pipeline {
         Pipeline {
             nodes: 1,
             optimize: Some(CommOptConfig::default()),
+            verify: false,
             infer_locality: true,
             inline: None,
             reorder_fields: false,
@@ -147,6 +160,14 @@ impl Pipeline {
     /// Enables or disables locality inference.
     pub fn locality(mut self, on: bool) -> Self {
         self.infer_locality = on;
+        self
+    }
+
+    /// Runs the placement translation validator ([`earth_lint`]) over the
+    /// motions the optimizer is about to perform; any violation aborts the
+    /// pipeline with [`PipelineError::Verify`]. Off by default.
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
         self
     }
 
@@ -197,12 +218,20 @@ impl Pipeline {
             earth_analysis::infer_locality(&mut prog);
         }
         if let Some(cfg) = &self.optimize {
+            if self.verify {
+                let violations = earth_lint::verify_program(&prog, cfg);
+                if !violations.is_empty() {
+                    return Err(PipelineError::Verify(violations));
+                }
+            }
             earth_commopt::optimize_program(&mut prog, cfg);
         }
-        let compiled = earth_sim::compile(&prog, earth_sim::CodegenOptions::default())
-            .map_err(|e| SimError {
-                time_ns: 0,
-                message: e.to_string(),
+        let compiled =
+            earth_sim::compile(&prog, earth_sim::CodegenOptions::default()).map_err(|e| {
+                SimError {
+                    time_ns: 0,
+                    message: e.to_string(),
+                }
             })?;
         let entry = compiled
             .function_by_name(&self.entry)

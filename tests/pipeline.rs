@@ -214,17 +214,20 @@ fn inlining_preserves_semantics_end_to_end() {
 }
 
 /// Every sample program under `programs/` compiles and runs under all
-/// three builds with agreeing results.
+/// three builds with agreeing results. The optimized build runs with the
+/// placement translation validator enabled: an unsound motion would abort
+/// the pipeline rather than corrupt the comparison.
 #[test]
 fn sample_programs_compile_and_agree() {
+    let mut checked = 0;
     for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/programs")).unwrap() {
         let path = entry.unwrap().path();
         if path.extension().and_then(|e| e.to_str()) != Some("ec") {
             continue;
         }
         let src = std::fs::read_to_string(&path).unwrap();
-        let prog = earthc::compile_earth_c(&src)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let prog =
+            earthc::compile_earth_c(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let f = prog.function(prog.function_by_name("main").unwrap());
         let args: Vec<Value> = f.params.iter().map(|_| Value::Int(6)).collect();
         let simple = Pipeline::new()
@@ -234,8 +237,41 @@ fn sample_programs_compile_and_agree() {
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let optimized = Pipeline::new()
             .nodes(4)
+            .verify(true)
             .run_program(prog, &args)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert_eq!(simple.ret, optimized.ret, "{}", path.display());
+        assert!(
+            optimized.stats.total_comm() <= simple.stats.total_comm(),
+            "{}: optimization increased communication ({} -> {})",
+            path.display(),
+            simple.stats.total_comm(),
+            optimized.stats.total_comm()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected the example programs, found {checked}"
+    );
+}
+
+/// The verified pipeline also agrees on every Olden benchmark: simple vs
+/// optimized-with-validation, differentially compared on real workloads.
+#[test]
+fn olden_differential_with_verification() {
+    for bench in earthc::earth_olden::suite() {
+        let args: Vec<Value> = (bench.args)(earthc::earth_olden::Preset::Test);
+        let simple = Pipeline::new()
+            .nodes(4)
+            .optimizer(None)
+            .run_source(bench.source, &args)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let optimized = Pipeline::new()
+            .nodes(4)
+            .verify(true)
+            .run_source(bench.source, &args)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert_eq!(simple.ret, optimized.ret, "{}", bench.name);
     }
 }

@@ -54,11 +54,21 @@ pub struct Summary {
 }
 
 impl Summary {
-    fn is_superset_of(&self, other: &Summary) -> bool {
+    /// Whether every effect of `other` is already covered by `self`.
+    ///
+    /// The analysis cache uses this to decide if a single-function body
+    /// change stays within the function's previously-published summary
+    /// (in which case every other function's cached results remain
+    /// conservative) or requires a whole-program re-analysis.
+    pub fn covers(&self, other: &Summary) -> bool {
         self.reads.is_superset(&other.reads)
             && self.writes.is_superset(&other.writes)
             && self.merges.is_superset(&other.merges)
             && self.ret_roots.is_superset(&other.ret_roots)
+    }
+
+    fn is_superset_of(&self, other: &Summary) -> bool {
+        self.covers(other)
     }
 }
 
@@ -135,6 +145,22 @@ pub fn analyze_effects(prog: &Program) -> (Vec<Summary>, Vec<Regions>) {
         .map(|(_, f)| analyze_function(prog, f, &summaries).1)
         .collect();
     (summaries, regions)
+}
+
+/// Re-analyzes a single function against the given (already computed)
+/// callee `summaries`, returning its fresh summary and region classes.
+///
+/// This is the analysis cache's per-function recompute primitive: when one
+/// function's body changed, its regions and read/write sets can be rebuilt
+/// in isolation as long as the fresh summary is still
+/// [covered](Summary::covers) by the one the rest of the program was
+/// analyzed against.
+pub fn reanalyze_function(
+    prog: &Program,
+    f: &Function,
+    summaries: &[Summary],
+) -> (Summary, Regions) {
+    analyze_function(prog, f, summaries)
 }
 
 fn merge_summaries(a: &Summary, b: &Summary) -> Summary {

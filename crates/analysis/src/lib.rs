@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod effects;
 pub mod locality;
 pub mod rw_sets;
 mod uf;
 
-pub use effects::{analyze_effects, Regions, Root, Summary};
+pub use cache::{AnalysisCache, CacheStats};
+pub use effects::{analyze_effects, reanalyze_function, Regions, Root, Summary};
 pub use locality::{infer_locality, LocalityReport};
 pub use rw_sets::{HeapAccess, RwSet, RwSets};
 
@@ -132,6 +134,18 @@ impl ProgramAnalysis {
     /// Panics if `id` is out of range.
     pub fn function(&self, id: FuncId) -> &FunctionAnalysis {
         &self.functions[id.index()]
+    }
+
+    /// Number of functions covered (the program size the analysis was
+    /// computed for).
+    pub fn n_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Replaces one function's cached results (the analysis cache's
+    /// per-function refresh).
+    pub(crate) fn set_function(&mut self, id: FuncId, fa: FunctionAnalysis) {
+        self.functions[id.index()] = fa;
     }
 }
 

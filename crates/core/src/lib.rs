@@ -56,7 +56,10 @@ pub use rce::{CommSet, Rce};
 pub use selection::{select, Plan, Replace, SelectionStats};
 pub use transform::apply_plan;
 
-use earth_ir::{FuncId, Program};
+use earth_analysis::ProgramAnalysis;
+use earth_ir::{FuncId, Function, Program};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Per-function optimization outcome.
 #[derive(Debug, Clone)]
@@ -92,8 +95,99 @@ impl OptReport {
     }
 }
 
+/// The default fan-out width for [`optimize_program`]: one worker per
+/// available hardware thread (1 when parallelism cannot be queried).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Placement analysis + selection + transformation for one function,
+/// against the whole-program `analysis`. Pure with respect to `prog` (only
+/// struct layouts and the function body are read), which is what makes the
+/// per-function fan-out of [`optimize_program_with`] deterministic.
+fn optimize_function(
+    prog: &Program,
+    analysis: &ProgramAnalysis,
+    cfg: &CommOptConfig,
+    fid: FuncId,
+) -> (FuncId, Function, FnReport) {
+    let fa = analysis.function(fid);
+    let mut func = prog.function(fid).clone();
+    let placement = analyze_placement(&func, fa, &cfg.freq);
+    let plan = select(prog, &mut func, fa, &placement, cfg);
+    apply_plan(&mut func, &plan);
+    let report = FnReport {
+        func: fid,
+        stats: plan.stats,
+        motion: plan.motion,
+    };
+    (fid, func, report)
+}
+
+/// Runs communication optimization over every function of `prog` using a
+/// precomputed (cached) `analysis`, fanning the per-function
+/// placement + selection work out across up to `workers` scoped threads.
+///
+/// Functions are optimized independently against the *pre-optimization*
+/// program and analysis, and the results are merged in [`FuncId`] order —
+/// so the output is byte-identical for any worker count (including 1).
+/// `workers` is clamped to `1..=#functions`.
+///
+/// Unlike [`optimize_program`], this neither computes the analysis nor
+/// validates the result; the pass-manager pipeline does both through the
+/// analysis cache and the IR-validation pass.
+pub fn optimize_program_with(
+    prog: &mut Program,
+    cfg: &CommOptConfig,
+    analysis: &ProgramAnalysis,
+    workers: usize,
+) -> OptReport {
+    let mut report = OptReport::default();
+    if !cfg.enable_motion && !cfg.enable_blocking && !cfg.enable_redundancy_elim {
+        return report;
+    }
+    let fids: Vec<FuncId> = prog.iter_functions().map(|(id, _)| id).collect();
+    let workers = workers.clamp(1, fids.len().max(1));
+    let mut results: Vec<(FuncId, Function, FnReport)> = if workers <= 1 {
+        fids.iter()
+            .map(|&fid| optimize_function(prog, analysis, cfg, fid))
+            .collect()
+    } else {
+        let shared: &Program = prog;
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(FuncId, Function, FnReport)>> =
+            Mutex::new(Vec::with_capacity(fids.len()));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&fid) = fids.get(i) else { break };
+                        local.push(optimize_function(shared, analysis, cfg, fid));
+                    }
+                    collected.lock().unwrap().extend(local);
+                });
+            }
+        });
+        collected.into_inner().unwrap()
+    };
+    // Deterministic merge: arrival order depends on scheduling, FuncId
+    // order does not.
+    results.sort_by_key(|(fid, _, _)| *fid);
+    for (fid, func, fr) in results {
+        prog.replace_function(fid, func);
+        report.functions.push(fr);
+    }
+    report
+}
+
 /// Runs the full communication optimization (placement analysis, selection,
-/// transformation) over every function of `prog`, in place.
+/// transformation) over every function of `prog`, in place, computing the
+/// whole-program analysis itself and fanning out across
+/// [`default_workers`] threads.
 ///
 /// With [`CommOptConfig::disabled`] this is a no-op (the paper's "simple"
 /// compile).
@@ -103,25 +197,11 @@ impl OptReport {
 /// Panics if the optimizer produces invalid IR — a bug, guarded by the
 /// validator.
 pub fn optimize_program(prog: &mut Program, cfg: &CommOptConfig) -> OptReport {
-    let mut report = OptReport::default();
     if !cfg.enable_motion && !cfg.enable_blocking && !cfg.enable_redundancy_elim {
-        return report;
+        return OptReport::default();
     }
     let analysis = earth_analysis::analyze(prog);
-    let fids: Vec<FuncId> = prog.iter_functions().map(|(id, _)| id).collect();
-    for fid in fids {
-        let fa = analysis.function(fid);
-        let mut func = prog.function(fid).clone();
-        let placement = analyze_placement(&func, fa, &cfg.freq);
-        let plan = select(prog, &mut func, fa, &placement, cfg);
-        apply_plan(&mut func, &plan);
-        prog.replace_function(fid, func);
-        report.functions.push(FnReport {
-            func: fid,
-            stats: plan.stats,
-            motion: plan.motion,
-        });
-    }
+    let report = optimize_program_with(prog, cfg, &analysis, default_workers());
     earth_ir::validate_program(prog).expect("optimizer produced invalid IR");
     report
 }

@@ -44,7 +44,7 @@ impl MotionKind {
 }
 
 /// One motion: a remote operation moved (or merged) by selection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Motion {
     /// The pointer variable through which the remote region is accessed.
     pub base: VarId,
@@ -96,7 +96,7 @@ impl fmt::Display for Motion {
 }
 
 /// The ordered list of motions selection performed for one function.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MotionLog {
     /// Motions in the order they were decided.
     pub motions: Vec<Motion>,

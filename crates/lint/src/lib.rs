@@ -40,19 +40,27 @@
 pub mod races;
 pub mod verify;
 
-pub use races::{lint_function, lint_program, ConstructVerdict, LintReport, ParallelConstruct};
+pub use races::{
+    lint_function, lint_program, lint_program_with, ConstructVerdict, LintReport, ParallelConstruct,
+};
 pub use verify::verify_motions;
 
+use earth_analysis::ProgramAnalysis;
 use earth_commopt::{analyze_placement, select, CommOptConfig};
 use earth_ir::{Diagnostic, Program};
 
 /// Replays communication selection for every function of the
-/// **unoptimized** `prog` and validates the resulting motion logs.
+/// **unoptimized** `prog` against a precomputed (cached) `analysis` and
+/// validates the resulting motion logs.
 ///
 /// Returns every violation found; an empty vector certifies that all the
 /// motions the optimizer would perform under `cfg` are translation-safe.
-pub fn verify_program(prog: &Program, cfg: &CommOptConfig) -> Vec<Diagnostic> {
-    let analysis = earth_analysis::analyze(prog);
+/// `analysis` must have been computed for `prog` as it is passed here.
+pub fn verify_program_with(
+    prog: &Program,
+    cfg: &CommOptConfig,
+    analysis: &ProgramAnalysis,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for (fid, f) in prog.iter_functions() {
         let fa = analysis.function(fid);
@@ -68,4 +76,11 @@ pub fn verify_program(prog: &Program, cfg: &CommOptConfig) -> Vec<Diagnostic> {
         );
     }
     out
+}
+
+/// Convenience wrapper around [`verify_program_with`] that computes the
+/// whole-program analysis itself. Prefer the `_with` form inside the
+/// pass-manager pipeline, where the analysis is shared through the cache.
+pub fn verify_program(prog: &Program, cfg: &CommOptConfig) -> Vec<Diagnostic> {
+    verify_program_with(prog, cfg, &earth_analysis::analyze(prog))
 }

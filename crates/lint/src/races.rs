@@ -84,9 +84,10 @@ impl LintReport {
     }
 }
 
-/// Lints every function of `prog`, computing the analysis internally.
-pub fn lint_program(prog: &Program) -> LintReport {
-    let analysis: ProgramAnalysis = earth_analysis::analyze(prog);
+/// Lints every function of `prog` against a precomputed (cached)
+/// whole-program `analysis` (which must have been computed for `prog` as
+/// passed here).
+pub fn lint_program_with(prog: &Program, analysis: &ProgramAnalysis) -> LintReport {
     let mut report = LintReport::default();
     for (fid, f) in prog.iter_functions() {
         let fr = lint_function(f, analysis.function(fid));
@@ -96,6 +97,13 @@ pub fn lint_program(prog: &Program) -> LintReport {
             .extend(fr.diagnostics.into_iter().map(|d| d.in_func(&f.name)));
     }
     report
+}
+
+/// Thin convenience wrapper around [`lint_program_with`] that computes the
+/// analysis internally. Prefer the `_with` form inside the pass-manager
+/// pipeline, where the analysis is shared through the cache.
+pub fn lint_program(prog: &Program) -> LintReport {
+    lint_program_with(prog, &earth_analysis::analyze(prog))
 }
 
 /// Lints one function with precomputed analysis results.

@@ -1,0 +1,393 @@
+//! # earth-pass — the pass-manager layer of the EARTH-C pipeline
+//!
+//! The paper's framework is explicitly staged: points-to/connection
+//! analysis feeds read/write sets, which feed possible-placement and then
+//! communication selection (§3, Fig. 2). This crate turns that staging
+//! into an LLVM-style pass/analysis-manager architecture:
+//!
+//! * a [`Pass`] trait — a named unit of work over the IR that may consume
+//!   the shared analysis (through the [`AnalysisCache`]) and must declare
+//!   what it invalidated when it mutates the program;
+//! * a [`PassManager`] that runs registered passes in order, timing each
+//!   one and attributing analysis-cache activity (hits, misses,
+//!   per-function recomputes, invalidations) per pass;
+//! * a [`PipelineReport`] summarizing the run — renderable as a timings
+//!   table (`earthcc run --timings`) or machine-readable JSON
+//!   (`--report-json`).
+//!
+//! The payoff: an `inline → field-reorder → locality → verify → lint →
+//! optimize` pipeline performs exactly **one** whole-program analysis
+//! instead of one per consumer, and the optimize pass fans per-function
+//! placement + selection out across scoped worker threads with a
+//! deterministic (FuncId-ordered) merge.
+//!
+//! # Examples
+//!
+//! ```
+//! use earth_pass::{PassManager, passes};
+//! use earth_analysis::AnalysisCache;
+//!
+//! let mut prog = earth_frontend::compile(r#"
+//!     struct Point { double x; double y; };
+//!     double distance(Point *p) {
+//!         double d;
+//!         d = sqrt(p->x * p->x + p->y * p->y);
+//!         return d;
+//!     }
+//! "#).unwrap();
+//! let cfg = earth_commopt::CommOptConfig::default();
+//! let mut cache = AnalysisCache::new();
+//! let mut pm = PassManager::new();
+//! pm.register(passes::VerifyPlacementPass::new(cfg.clone()));
+//! pm.register(passes::RaceLintPass::new());
+//! pm.register(passes::OptimizePass::new(cfg, 1));
+//! pm.register(passes::ValidateIrPass);
+//! let report = pm.run(&mut prog, &mut cache).unwrap();
+//! // Three analysis consumers, one whole-program analysis:
+//! assert_eq!(report.cache.misses, 1);
+//! assert_eq!(report.cache.hits, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod passes;
+
+pub use passes::{
+    FieldReorderPass, InlinePass, LocalityPass, OptimizePass, RaceLintPass, ValidateIrPass,
+    VerifyPlacementPass,
+};
+
+use earth_analysis::{AnalysisCache, CacheStats};
+use earth_ir::{Diagnostic, Program};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A named compilation pass.
+///
+/// A pass reads and/or mutates the program; whenever it mutates the IR it
+/// must invalidate the [`AnalysisCache`] at the appropriate granularity
+/// (whole-program for structural changes, per-[`FuncId`](earth_ir::FuncId)
+/// for local rewrites) — the cache is how later passes see a consistent
+/// analysis without recomputing it.
+pub trait Pass {
+    /// Stable name used in reports and timings.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass. Record counters and non-fatal diagnostics on
+    /// `report`; return `Err` with the offending diagnostics to abort the
+    /// pipeline.
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>>;
+}
+
+/// Instrumentation for one executed pass.
+#[derive(Debug, Clone, Default)]
+pub struct PassReport {
+    /// The pass's [`Pass::name`].
+    pub name: &'static str,
+    /// Wall-clock time spent in [`Pass::run`].
+    pub wall: Duration,
+    /// Analysis-cache activity attributed to this pass (delta of the
+    /// cache's counters across the run).
+    pub cache: CacheStats,
+    /// Pass-specific counters (motion counts, inlined calls, …).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Non-fatal diagnostics the pass produced (lint verdicts, warnings).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl PassReport {
+    /// Appends a named counter.
+    pub fn counter(&mut self, name: &'static str, value: u64) {
+        self.counters.push((name, value));
+    }
+
+    /// Looks up a counter by name.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// The whole pipeline's instrumentation: one [`PassReport`] per executed
+/// pass plus the final analysis-cache totals.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Reports in execution order (includes the failing pass, if any).
+    pub passes: Vec<PassReport>,
+    /// Final cache counters for the whole run.
+    pub cache: CacheStats,
+}
+
+impl PipelineReport {
+    /// Total wall-clock time across all passes.
+    pub fn total_wall(&self) -> Duration {
+        self.passes.iter().map(|p| p.wall).sum()
+    }
+
+    /// The report of the named pass, if it ran.
+    pub fn pass(&self, name: &str) -> Option<&PassReport> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    /// Human-readable timings table (the `--timings` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>12}  {:<28} counters\n",
+            "pass", "wall", "cache (hit/miss/refn/inval)"
+        ));
+        for p in &self.passes {
+            let cache = format!(
+                "{}/{}/{}/{}",
+                p.cache.hits, p.cache.misses, p.cache.function_recomputes, p.cache.invalidations
+            );
+            let counters = p
+                .counters
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "{:<18} {:>12}  {:<28} {}\n",
+                p.name,
+                format!("{:.1?}", p.wall),
+                cache,
+                counters
+            ));
+        }
+        out.push_str(&format!(
+            "{:<18} {:>12}  analyses={} hits={} refns={} invals={}\n",
+            "total",
+            format!("{:.1?}", self.total_wall()),
+            self.cache.misses,
+            self.cache.hits,
+            self.cache.function_recomputes,
+            self.cache.invalidations
+        ));
+        out
+    }
+
+    /// Machine-readable JSON encoding (hand-rolled; the offline image has
+    /// no serde, matching [`earth_ir::diag`]).
+    pub fn to_json(&self) -> String {
+        let cache_json = |c: &CacheStats| {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"function_recomputes\":{},\"invalidations\":{}}}",
+                c.hits, c.misses, c.function_recomputes, c.invalidations
+            )
+        };
+        let mut s = String::from("{\"passes\":[");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":{},\"wall_ns\":{},\"cache\":{},\"counters\":{{",
+                json_string(p.name),
+                p.wall.as_nanos(),
+                cache_json(&p.cache)
+            ));
+            for (j, (n, v)) in p.counters.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{}:{}", json_string(n), v));
+            }
+            s.push_str("},\"diagnostics\":");
+            s.push_str(&earth_ir::diag::to_json_array(&p.diagnostics));
+            s.push('}');
+        }
+        s.push_str(&format!(
+            "],\"total_wall_ns\":{},\"cache\":{}}}",
+            self.total_wall().as_nanos(),
+            cache_json(&self.cache)
+        ));
+        s
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A pipeline abort: the named pass rejected the program.
+#[derive(Debug)]
+pub struct PassError {
+    /// Name of the failing pass.
+    pub pass: &'static str,
+    /// The violations it reported.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Instrumentation up to and including the failing pass.
+    pub report: PipelineReport,
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pass `{}` failed:\n{}",
+            self.pass,
+            earth_ir::diag::render_all(&self.diagnostics)
+        )
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Runs registered [`Pass`]es in order over one program and one shared
+/// [`AnalysisCache`], timing each pass and attributing cache activity.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.passes.iter().map(|p| p.name()))
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        PassManager::default()
+    }
+
+    /// Appends a pass to the pipeline; passes run in registration order.
+    pub fn register(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Names of the registered passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass in order. Stops at the first failing pass,
+    /// returning its diagnostics together with the instrumentation
+    /// collected so far.
+    pub fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+    ) -> Result<PipelineReport, PassError> {
+        let mut report = PipelineReport::default();
+        for pass in &mut self.passes {
+            let mut pr = PassReport {
+                name: pass.name(),
+                ..PassReport::default()
+            };
+            let before = cache.stats();
+            let start = Instant::now();
+            let result = pass.run(prog, cache, &mut pr);
+            pr.wall = start.elapsed();
+            pr.cache = cache.stats().delta_since(&before);
+            report.passes.push(pr);
+            report.cache = cache.stats();
+            if let Err(diagnostics) = result {
+                return Err(PassError {
+                    pass: pass.name(),
+                    diagnostics,
+                    report,
+                });
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_frontend::compile;
+
+    const SRC: &str = r#"
+        struct Point { double x; double y; };
+        double distance(Point *p) {
+            double d;
+            d = sqrt(p->x * p->x + p->y * p->y);
+            return d;
+        }
+    "#;
+
+    /// verify + lint + optimize + validate share one whole-program
+    /// analysis through the cache.
+    #[test]
+    fn default_pipeline_analyzes_once() {
+        let mut prog = compile(SRC).unwrap();
+        let cfg = earth_commopt::CommOptConfig::default();
+        let mut cache = AnalysisCache::new();
+        let mut pm = PassManager::new();
+        pm.register(VerifyPlacementPass::new(cfg.clone()));
+        pm.register(RaceLintPass::new());
+        pm.register(OptimizePass::new(cfg, 2));
+        pm.register(ValidateIrPass);
+        let report = pm.run(&mut prog, &mut cache).unwrap();
+        assert_eq!(report.cache.misses, 1, "{}", report.render());
+        assert_eq!(report.cache.hits, 2, "{}", report.render());
+        // The optimize pass invalidated the function it rewrote.
+        assert!(report.cache.invalidations >= 1, "{}", report.render());
+        // Optimization actually happened.
+        let opt = report.pass("optimize").unwrap();
+        assert_eq!(opt.get_counter("pipelined_reads"), Some(2));
+    }
+
+    /// A pass that mutates the IR marks the cache, and the next consumer
+    /// refreshes only the changed function.
+    #[test]
+    fn per_function_refresh_after_optimize() {
+        let mut prog = compile(SRC).unwrap();
+        let cfg = earth_commopt::CommOptConfig::default();
+        let mut cache = AnalysisCache::new();
+        let mut pm = PassManager::new();
+        pm.register(OptimizePass::new(cfg, 1));
+        pm.register(RaceLintPass::new());
+        let report = pm.run(&mut prog, &mut cache).unwrap();
+        // The lint pass after optimize pays at most a per-function refresh
+        // or one escalated re-analysis — never more.
+        assert!(report.cache.misses <= 2, "{}", report.render());
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let mut prog = compile(SRC).unwrap();
+        let cfg = earth_commopt::CommOptConfig::default();
+        let mut cache = AnalysisCache::new();
+        let mut pm = PassManager::new();
+        pm.register(OptimizePass::new(cfg, 1));
+        pm.register(ValidateIrPass);
+        let report = pm.run(&mut prog, &mut cache).unwrap();
+        let text = report.render();
+        assert!(text.contains("optimize"), "{text}");
+        assert!(text.contains("validate-ir"), "{text}");
+        let json = report.to_json();
+        assert!(json.starts_with("{\"passes\":["), "{json}");
+        assert!(json.contains("\"name\":\"optimize\""), "{json}");
+        assert!(json.contains("\"total_wall_ns\""), "{json}");
+    }
+}

@@ -1,0 +1,290 @@
+//! The concrete passes of the EARTH-C pipeline.
+//!
+//! Each former hard-coded phase of the driver is a [`Pass`]:
+//!
+//! | pass | kind | cache discipline |
+//! |---|---|---|
+//! | [`InlinePass`] | transform | invalidates whole program when it inlined |
+//! | [`FieldReorderPass`] | transform | invalidates whole program when it permuted |
+//! | [`LocalityPass`] | transform | invalidates whole program when it upgraded |
+//! | [`VerifyPlacementPass`] | analysis consumer | reads the cache; aborts on violations |
+//! | [`RaceLintPass`] | analysis consumer | reads the cache; records verdicts |
+//! | [`OptimizePass`] | transform | reads the cache, then invalidates per changed [`FuncId`](earth_ir::FuncId) |
+//! | [`ValidateIrPass`] | check | pure; aborts on IR errors |
+
+use crate::{Pass, PassReport};
+use earth_analysis::AnalysisCache;
+use earth_commopt::{
+    inline_functions, optimize_program_with, reorder_fields, CommOptConfig, InlineConfig,
+    OptReport, SelectionStats,
+};
+use earth_ir::{Diagnostic, Program, Severity};
+use earth_lint::LintReport;
+
+/// Local function inlining (the paper's Phase-I pass).
+#[derive(Debug, Clone)]
+pub struct InlinePass {
+    /// Inliner limits.
+    pub cfg: InlineConfig,
+}
+
+impl InlinePass {
+    /// A pass with the given configuration.
+    pub fn new(cfg: InlineConfig) -> Self {
+        InlinePass { cfg }
+    }
+}
+
+impl Pass for InlinePass {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let r = inline_functions(prog, &self.cfg);
+        report.counter("inlined_calls", r.inlined_calls as u64);
+        if r.inlined_calls > 0 {
+            // Call sites disappeared: every caller's effects changed.
+            cache.invalidate_all();
+        }
+        Ok(())
+    }
+}
+
+/// Struct field reordering (the paper's §7 extension).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FieldReorderPass;
+
+impl Pass for FieldReorderPass {
+    fn name(&self) -> &'static str {
+        "field-reorder"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let r = reorder_fields(prog);
+        report.counter("structs_reordered", r.len() as u64);
+        if !r.is_empty() {
+            // FieldIds were permuted program-wide: every field-sensitive
+            // read/write set is stale.
+            cache.invalidate_all();
+        }
+        Ok(())
+    }
+}
+
+/// Locality inference: upgrades provably-local pointers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalityPass;
+
+impl Pass for LocalityPass {
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let r = earth_analysis::infer_locality(prog);
+        report.counter("vars_upgraded", r.len() as u64);
+        if !r.is_empty() {
+            cache.invalidate_all();
+        }
+        Ok(())
+    }
+}
+
+/// The placement translation validator ([`earth_lint::verify_program_with`])
+/// run over the motions the optimizer is about to perform. Any violation
+/// aborts the pipeline.
+#[derive(Debug, Clone)]
+pub struct VerifyPlacementPass {
+    /// The optimizer configuration whose selection is replayed.
+    pub cfg: CommOptConfig,
+}
+
+impl VerifyPlacementPass {
+    /// A pass validating selection under `cfg`.
+    pub fn new(cfg: CommOptConfig) -> Self {
+        VerifyPlacementPass { cfg }
+    }
+}
+
+impl Pass for VerifyPlacementPass {
+    fn name(&self) -> &'static str {
+        "verify-placement"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let analysis = cache.get(prog);
+        let violations = earth_lint::verify_program_with(prog, &self.cfg, analysis);
+        report.counter("violations", violations.len() as u64);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// The parallel-soundness race linter ([`earth_lint::lint_program_with`]).
+///
+/// Verdicts are recorded as diagnostics on the pass report; a possibly-racy
+/// construct does **not** abort the pipeline (EARTH-C semantics trust the
+/// programmer's `forall`/ParSeq assertion) unless
+/// [`fail_on_racy`](RaceLintPass::fail_on_racy) is set.
+#[derive(Debug, Clone, Default)]
+pub struct RaceLintPass {
+    /// Abort the pipeline when any construct is possibly racy.
+    pub fail_on_racy: bool,
+    /// The full report of the last run (verdicts per construct).
+    pub last: Option<LintReport>,
+}
+
+impl RaceLintPass {
+    /// A non-fatal linting pass.
+    pub fn new() -> Self {
+        RaceLintPass::default()
+    }
+
+    /// A linting pass that aborts on any possibly-racy construct.
+    pub fn fatal() -> Self {
+        RaceLintPass {
+            fail_on_racy: true,
+            last: None,
+        }
+    }
+}
+
+impl Pass for RaceLintPass {
+    fn name(&self) -> &'static str {
+        "race-lint"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let analysis = cache.get(prog);
+        let lint = earth_lint::lint_program_with(prog, analysis);
+        report.counter("constructs", lint.verdicts.len() as u64);
+        report.counter(
+            "racy",
+            lint.verdicts.iter().filter(|v| !v.independent).count() as u64,
+        );
+        report.diagnostics.extend(lint.diagnostics.iter().cloned());
+        let failed = self.fail_on_racy && !lint.all_independent();
+        let diags = lint.diagnostics.clone();
+        self.last = Some(lint);
+        if failed {
+            Err(diags)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The paper's communication optimization (possible-placement analysis +
+/// selection + transformation), fanned out per function across scoped
+/// worker threads with a deterministic [`FuncId`](earth_ir::FuncId)-ordered
+/// merge.
+#[derive(Debug, Clone)]
+pub struct OptimizePass {
+    /// Optimizer configuration.
+    pub cfg: CommOptConfig,
+    /// Fan-out width (clamped to `1..=#functions`).
+    pub workers: usize,
+    /// The per-function reports of the last run.
+    pub last: Option<OptReport>,
+}
+
+impl OptimizePass {
+    /// A pass optimizing under `cfg` with the given fan-out width.
+    pub fn new(cfg: CommOptConfig, workers: usize) -> Self {
+        OptimizePass {
+            cfg,
+            workers,
+            last: None,
+        }
+    }
+}
+
+impl Pass for OptimizePass {
+    fn name(&self) -> &'static str {
+        "optimize"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let analysis = cache.get(prog);
+        let opt = optimize_program_with(prog, &self.cfg, analysis, self.workers);
+        // Only the functions selection actually rewrote are stale.
+        let mut changed = 0u64;
+        for f in &opt.functions {
+            if f.stats != SelectionStats::default() || !f.motion.is_empty() {
+                cache.invalidate_function(f.func);
+                changed += 1;
+            }
+        }
+        let t = opt.total();
+        report.counter("workers", self.workers as u64);
+        report.counter("functions_changed", changed);
+        report.counter("pipelined_reads", t.pipelined_reads as u64);
+        report.counter("blocked_spans", t.blocked_spans as u64);
+        report.counter("blocked_writebacks", t.blocked_writebacks as u64);
+        report.counter("reads_rewritten", t.reads_rewritten as u64);
+        report.counter("writes_rewritten", t.writes_rewritten as u64);
+        self.last = Some(opt);
+        Ok(())
+    }
+}
+
+/// Structural IR validation ([`earth_ir::validate_program_diags`]): the
+/// final guard that the pipeline produced well-formed SIMPLE.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidateIrPass;
+
+impl Pass for ValidateIrPass {
+    fn name(&self) -> &'static str {
+        "validate-ir"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        _cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let diags = earth_ir::validate_program_diags(prog);
+        report.counter("diagnostics", diags.len() as u64);
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            Err(diags)
+        } else {
+            report.diagnostics.extend(diags);
+            Ok(())
+        }
+    }
+}

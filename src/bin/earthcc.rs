@@ -1,7 +1,8 @@
 //! `earthcc` — command-line driver for the EARTH-C pipeline.
 //!
 //! ```text
-//! earthcc run  prog.ec [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--arg V]...
+//! earthcc run  prog.ec [--nodes N] [--no-opt] [--no-locality] [--verify-placement]
+//!                      [--workers N] [--timings] [--report-json] [--arg V]...
 //! earthcc dump prog.ec [--simple | --optimized] [--func NAME]
 //! earthcc stats prog.ec [--nodes N] [--arg V]...   # simple vs optimized
 //! earthcc lint prog.ec [--json]        # parallel-soundness linter
@@ -10,6 +11,11 @@
 //!
 //! `--lint` and `--verify-placement` are accepted as aliases for the `lint`
 //! and `verify` subcommands.
+//!
+//! Compilation runs under the pass manager: every enabled pass (locality,
+//! placement verification, race lint, optimization, IR validation) shares
+//! one cached whole-program analysis, and `--timings` / `--report-json`
+//! print the per-pass wall times and cache counters.
 
 use earthc::earth_commopt::{optimize_program, CommOptConfig};
 use earthc::earth_ir::{diag, pretty, Severity};
@@ -18,7 +24,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc verify <file.ec> [--json]"
+        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc verify <file.ec> [--json]"
     );
     ExitCode::from(2)
 }
@@ -35,6 +41,9 @@ struct Opts {
     dump_fibers: bool,
     verify: bool,
     json: bool,
+    workers: Option<usize>,
+    timings: bool,
+    report_json: bool,
 }
 
 fn parse_opts(rest: &[String]) -> Result<Opts, String> {
@@ -50,6 +59,9 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
         dump_fibers: false,
         verify: false,
         json: false,
+        workers: None,
+        timings: false,
+        report_json: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -67,6 +79,16 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             "--fibers" => o.dump_fibers = true,
             "--verify-placement" => o.verify = true,
             "--json" => o.json = true,
+            "--timings" => o.timings = true,
+            "--report-json" => o.report_json = true,
+            "--workers" => {
+                o.workers = Some(
+                    it.next()
+                        .ok_or("--workers needs a value")?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer")?,
+                );
+            }
             "--entry" => o.entry = it.next().ok_or("--entry needs a value")?.clone(),
             "--func" => o.func = Some(it.next().ok_or("--func needs a value")?.clone()),
             "--arg" => {
@@ -109,19 +131,28 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "run" => {
-            let pipeline = Pipeline::new()
+            let mut pipeline = Pipeline::new()
                 .nodes(opts.nodes)
                 .optimizer(opts.optimize.then(CommOptConfig::default))
                 .verify(opts.verify)
                 .locality(opts.locality)
                 .entry(opts.entry.clone());
-            match pipeline.run_source(&src, &opts.args) {
-                Ok(r) => {
+            if let Some(w) = opts.workers {
+                pipeline = pipeline.workers(w);
+            }
+            match pipeline.run_source_report(&src, &opts.args) {
+                Ok((r, report)) => {
                     println!("result: {}", r.ret);
                     println!("time:   {} ns", r.time_ns);
                     println!("stats:  {}", r.stats);
                     for line in &r.output {
                         println!("output: {line}");
+                    }
+                    if opts.timings {
+                        print!("{}", report.render());
+                    }
+                    if opts.report_json {
+                        println!("{}", report.to_json());
                     }
                     ExitCode::SUCCESS
                 }

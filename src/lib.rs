@@ -48,11 +48,14 @@ pub use earth_frontend;
 pub use earth_ir;
 pub use earth_lint;
 pub use earth_olden;
+pub use earth_pass;
 pub use earth_sim;
 
+pub use earth_analysis::{AnalysisCache, CacheStats};
 pub use earth_commopt::{CommOptConfig, OptReport};
 pub use earth_frontend::FrontendError;
 pub use earth_ir::Program;
+pub use earth_pass::{PassManager, PipelineReport};
 pub use earth_sim::{CostModel, RunResult, SimError, Value};
 
 use std::fmt;
@@ -65,6 +68,12 @@ pub enum PipelineError {
     /// The placement translation validator rejected the optimizer's motions
     /// (only with [`Pipeline::verify`] enabled).
     Verify(Vec<earth_ir::Diagnostic>),
+    /// The race linter found a possibly-racy parallel construct (only with
+    /// [`Pipeline::lint`] enabled in fatal mode).
+    Lint(Vec<earth_ir::Diagnostic>),
+    /// The IR validation pass rejected the pipeline's output — a compiler
+    /// bug surfaced as diagnostics instead of a panic.
+    InvalidIr(Vec<earth_ir::Diagnostic>),
     /// Code generation or simulation failed.
     Sim(SimError),
 }
@@ -77,6 +86,16 @@ impl fmt::Display for PipelineError {
                 write!(
                     f,
                     "placement validation failed:\n{}",
+                    earth_ir::diag::render_all(ds)
+                )
+            }
+            PipelineError::Lint(ds) => {
+                write!(f, "race lint failed:\n{}", earth_ir::diag::render_all(ds))
+            }
+            PipelineError::InvalidIr(ds) => {
+                write!(
+                    f,
+                    "IR validation failed:\n{}",
                     earth_ir::diag::render_all(ds)
                 )
             }
@@ -108,16 +127,29 @@ pub fn compile_earth_c(src: &str) -> Result<Program, FrontendError> {
     earth_frontend::compile(src)
 }
 
-/// End-to-end pipeline builder: frontend → (locality inference) →
-/// communication optimization → threaded-code generation → simulation.
+/// End-to-end pipeline builder: frontend → compilation passes (inlining,
+/// field reordering, locality inference, placement verification, race
+/// linting, communication optimization, IR validation) → threaded-code
+/// generation → simulation.
+///
+/// The compilation phases run under a [`earth_pass::PassManager`] over one
+/// shared [`AnalysisCache`]: however many passes consume the whole-program
+/// analysis, it is computed once and invalidated precisely (whole-program
+/// or per-function) when a pass mutates the IR. Per-pass wall time and
+/// cache activity are surfaced through [`run_program_report`]
+/// (`earthcc run --timings` / `--report-json`).
+///
+/// [`run_program_report`]: Pipeline::run_program_report
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     nodes: u16,
     optimize: Option<CommOptConfig>,
     verify: bool,
+    lint: bool,
     infer_locality: bool,
     inline: Option<earth_commopt::InlineConfig>,
     reorder_fields: bool,
+    workers: Option<usize>,
     entry: String,
     machine: earth_sim::MachineConfig,
 }
@@ -136,9 +168,11 @@ impl Pipeline {
             nodes: 1,
             optimize: Some(CommOptConfig::default()),
             verify: false,
+            lint: false,
             infer_locality: true,
             inline: None,
             reorder_fields: false,
+            workers: None,
             entry: "main".into(),
             machine: earth_sim::MachineConfig::default(),
         }
@@ -171,6 +205,22 @@ impl Pipeline {
         self
     }
 
+    /// Runs the parallel-soundness race linter ([`earth_lint`]) as a
+    /// pipeline pass. Verdicts are recorded on the [`PipelineReport`];
+    /// possibly-racy constructs do not abort the run. Off by default.
+    pub fn lint(mut self, on: bool) -> Self {
+        self.lint = on;
+        self
+    }
+
+    /// Sets the optimizer's per-function fan-out width (number of scoped
+    /// worker threads). Defaults to [`earth_commopt::default_workers`];
+    /// the output is byte-identical for any width.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
     /// Enables local function inlining (the paper's Phase-I pass) with the
     /// given configuration; off by default.
     pub fn inlining(mut self, cfg: Option<earth_commopt::InlineConfig>) -> Self {
@@ -198,34 +248,67 @@ impl Pipeline {
         self
     }
 
-    /// Runs the pipeline over an already-compiled program.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator errors; see [`earth_sim::Machine::run`].
-    pub fn run_program(
-        &self,
-        mut prog: Program,
-        args: &[Value],
-    ) -> Result<RunResult, PipelineError> {
+    /// Builds the pass pipeline this configuration describes, in order:
+    /// inline → field-reorder → locality → verify-placement → race-lint →
+    /// optimize → validate-ir (transform passes only when enabled).
+    pub fn pass_manager(&self) -> PassManager {
+        let mut pm = PassManager::new();
         if let Some(icfg) = &self.inline {
-            earth_commopt::inline_functions(&mut prog, icfg);
+            pm.register(earth_pass::InlinePass::new(icfg.clone()));
         }
         if self.reorder_fields {
-            earth_commopt::reorder_fields(&mut prog);
+            pm.register(earth_pass::FieldReorderPass);
         }
         if self.infer_locality {
-            earth_analysis::infer_locality(&mut prog);
+            pm.register(earth_pass::LocalityPass);
         }
         if let Some(cfg) = &self.optimize {
             if self.verify {
-                let violations = earth_lint::verify_program(&prog, cfg);
-                if !violations.is_empty() {
-                    return Err(PipelineError::Verify(violations));
-                }
+                pm.register(earth_pass::VerifyPlacementPass::new(cfg.clone()));
             }
-            earth_commopt::optimize_program(&mut prog, cfg);
+            if self.lint {
+                pm.register(earth_pass::RaceLintPass::new());
+            }
+            let workers = self.workers.unwrap_or_else(earth_commopt::default_workers);
+            pm.register(earth_pass::OptimizePass::new(cfg.clone(), workers));
+        } else if self.lint {
+            pm.register(earth_pass::RaceLintPass::new());
         }
+        pm.register(earth_pass::ValidateIrPass);
+        pm
+    }
+
+    /// Runs the compilation passes (no code generation or simulation) over
+    /// `prog` in place, sharing one analysis across all of them.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Verify`], [`PipelineError::Lint`], or
+    /// [`PipelineError::InvalidIr`] when the corresponding pass rejects
+    /// the program.
+    pub fn apply_passes(&self, prog: &mut Program) -> Result<PipelineReport, PipelineError> {
+        let mut cache = AnalysisCache::new();
+        let mut pm = self.pass_manager();
+        pm.run(prog, &mut cache).map_err(|e| match e.pass {
+            "verify-placement" => PipelineError::Verify(e.diagnostics),
+            "race-lint" => PipelineError::Lint(e.diagnostics),
+            _ => PipelineError::InvalidIr(e.diagnostics),
+        })
+    }
+
+    /// Runs the pipeline over an already-compiled program, returning the
+    /// simulation result together with the per-pass instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass and simulator errors; see
+    /// [`apply_passes`](Self::apply_passes) and [`earth_sim::Machine::run`].
+    pub fn run_program_report(
+        &self,
+        mut prog: Program,
+        args: &[Value],
+    ) -> Result<(RunResult, PipelineReport), PipelineError> {
+        let report = self.apply_passes(&mut prog)?;
         let compiled =
             earth_sim::compile(&prog, earth_sim::CodegenOptions::default()).map_err(|e| {
                 SimError {
@@ -242,16 +325,40 @@ impl Pipeline {
         let mut mc = self.machine.clone();
         mc.n_nodes = self.nodes;
         let mut m = earth_sim::Machine::new(mc);
-        Ok(m.run(&compiled, entry, args)?)
+        Ok((m.run(&compiled, entry, args)?, report))
+    }
+
+    /// Runs the pipeline over an already-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass and simulator errors; see
+    /// [`earth_sim::Machine::run`].
+    pub fn run_program(&self, prog: Program, args: &[Value]) -> Result<RunResult, PipelineError> {
+        self.run_program_report(prog, args).map(|(r, _)| r)
+    }
+
+    /// Compiles EARTH-C source and runs it, returning the simulation
+    /// result together with the per-pass instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend, pass, and simulator errors.
+    pub fn run_source_report(
+        &self,
+        src: &str,
+        args: &[Value],
+    ) -> Result<(RunResult, PipelineReport), PipelineError> {
+        let prog = earth_frontend::compile(src)?;
+        self.run_program_report(prog, args)
     }
 
     /// Compiles EARTH-C source and runs it.
     ///
     /// # Errors
     ///
-    /// Propagates frontend and simulator errors.
+    /// Propagates frontend, pass, and simulator errors.
     pub fn run_source(&self, src: &str, args: &[Value]) -> Result<RunResult, PipelineError> {
-        let prog = earth_frontend::compile(src)?;
-        self.run_program(prog, args)
+        self.run_source_report(src, args).map(|(r, _)| r)
     }
 }

@@ -1,0 +1,182 @@
+//! Parallel-vs-sequential determinism of the optimizer fan-out.
+//!
+//! `optimize_program_with` distributes per-function placement + selection
+//! across scoped worker threads and merges the results in `FuncId` order.
+//! These tests pin the contract: for every sample program, paper-figure
+//! example, and Olden kernel, optimizing with 1 worker and with N workers
+//! must produce byte-identical pretty-printed IR, identical `MotionLog`s,
+//! and identical `SelectionStats`.
+
+use earthc::earth_analysis;
+use earthc::earth_commopt::{optimize_program_with, CommOptConfig, MotionLog, SelectionStats};
+use earthc::earth_ir::pretty;
+
+/// Paper worked examples (Figures 3, 4, and 8).
+const PAPER_FIGURES: &[(&str, &str)] = &[
+    (
+        "fig3_distance",
+        r#"
+        struct Point { double x; double y; };
+        double distance(Point *p) {
+            double d;
+            d = sqrt(p->x * p->x + p->y * p->y);
+            return d;
+        }
+    "#,
+    ),
+    (
+        "fig4_scale_point",
+        r#"
+        struct Point { double x; double y; };
+        double scale(double v, double k) { return v * k; }
+        void scale_point(Point *p, double k) {
+            p->x = scale(p->x, k);
+            p->y = scale(p->y, k);
+        }
+    "#,
+    ),
+    (
+        "fig8_closest_point",
+        r#"
+        struct Point { Point* next; double x; double y; };
+        double f(double ax, double ay, double bx, double by) {
+            return (ax - bx) * (ax - bx) + (ay - by) * (ay - by);
+        }
+        double closest(Point *head, Point *t, double epsilon) {
+            Point *p;
+            Point *close;
+            double ax; double ay; double bx; double by;
+            double dist; double cx; double tx; double diffx;
+            double cy; double ty; double diffy;
+            close = head;
+            p = head;
+            while (p != NULL) {
+                ax = p->x;
+                ay = p->y;
+                bx = t->x;
+                by = t->y;
+                dist = f(ax, ay, bx, by);
+                if (dist < epsilon) { close = p; }
+                p = p->next;
+            }
+            cx = close->x;
+            tx = t->x;
+            diffx = cx - tx;
+            cy = close->y;
+            ty = t->y;
+            diffy = cy - ty;
+            return diffx * diffx + diffy * diffy;
+        }
+    "#,
+    ),
+];
+
+/// Optimizes `src` with the given worker count; returns the printed IR,
+/// the per-function motion logs, and the summed selection counters.
+fn optimize_with_workers(src: &str, workers: usize) -> (String, Vec<MotionLog>, SelectionStats) {
+    let mut prog = earthc::compile_earth_c(src).expect("compiles");
+    earth_analysis::infer_locality(&mut prog);
+    let analysis = earth_analysis::analyze(&prog);
+    let report = optimize_program_with(&mut prog, &CommOptConfig::default(), &analysis, workers);
+    let motions = report.functions.iter().map(|f| f.motion.clone()).collect();
+    (pretty::print_program(&prog), motions, report.total())
+}
+
+fn assert_deterministic(name: &str, src: &str) {
+    let (ir1, motions1, stats1) = optimize_with_workers(src, 1);
+    for workers in [2usize, 4, 8] {
+        let (ir_n, motions_n, stats_n) = optimize_with_workers(src, workers);
+        assert_eq!(
+            ir1, ir_n,
+            "{name}: IR differs between 1 and {workers} workers"
+        );
+        assert_eq!(
+            motions1, motions_n,
+            "{name}: motion logs differ between 1 and {workers} workers"
+        );
+        assert_eq!(
+            stats1, stats_n,
+            "{name}: selection stats differ between 1 and {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn sample_programs_are_deterministic() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/programs")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ec") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        assert_deterministic(&path.display().to_string(), &src);
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected the sample programs, found {checked}"
+    );
+}
+
+#[test]
+fn paper_figures_are_deterministic() {
+    for (name, src) in PAPER_FIGURES {
+        assert_deterministic(name, src);
+    }
+}
+
+#[test]
+fn olden_kernels_are_deterministic() {
+    let suite = earthc::earth_olden::suite();
+    assert_eq!(suite.len(), 5, "all five Olden kernels");
+    for bench in suite {
+        assert_deterministic(bench.name, bench.source);
+    }
+}
+
+/// The end-to-end pipeline (with inlining and field reordering enabled, so
+/// every transform pass runs) is worker-count-invariant too: same result,
+/// same virtual time, same dynamic communication stats.
+#[test]
+fn full_pipeline_is_worker_invariant() {
+    use earthc::{Pipeline, Value};
+    let src = PAPER_FIGURES
+        .iter()
+        .find(|(n, _)| *n == "fig3_distance")
+        .unwrap()
+        .1;
+    let wrapped = format!(
+        r#"{src}
+        double main() {{
+            Point *p;
+            p = malloc_on(1, sizeof(Point));
+            p->x = 3.0;
+            p->y = 4.0;
+            return distance(p);
+        }}
+    "#
+    );
+    let run = |workers: usize| {
+        Pipeline::new()
+            .nodes(4)
+            .workers(workers)
+            .inlining(Some(earthc::earth_commopt::InlineConfig::default()))
+            .field_reordering(true)
+            .verify(true)
+            .lint(true)
+            .run_source(&wrapped, &[])
+            .unwrap()
+    };
+    let one = run(1);
+    for workers in [2usize, 8] {
+        let n = run(workers);
+        assert_eq!(one.ret, n.ret);
+        assert_eq!(
+            one.time_ns, n.time_ns,
+            "virtual time must not depend on host threads"
+        );
+        assert_eq!(one.stats, n.stats);
+    }
+    assert_eq!(one.ret, Value::Double(5.0));
+}

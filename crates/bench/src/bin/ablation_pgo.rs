@@ -1,0 +1,31 @@
+//! Static-vs-profile-guided ablation over the Olden suite: instrument →
+//! simulate → recompile with the measured profile.
+//!
+//! ```text
+//! cargo run --release --bin ablation_pgo -- [--test|--small|--full] [--nodes N]
+//! ```
+
+use earth_bench::pgo::{render_pgo, run_pgo};
+use earth_bench::{nodes_from_args, preset_from_args};
+
+fn main() {
+    let preset = preset_from_args();
+    let nodes = nodes_from_args();
+    println!(
+        "PGO ablation ({preset:?} preset, {nodes} nodes): static heuristics vs measured profile\n"
+    );
+    let results: Vec<_> = earth_olden::suite()
+        .iter()
+        .map(|b| run_pgo(b, preset, nodes))
+        .collect();
+    print!("{}", render_pgo(&results));
+    let improved = results
+        .iter()
+        .filter(|r| r.pgo_time_ns <= r.static_time_ns)
+        .count();
+    let flipped: usize = results.iter().map(|r| r.decisions_flipped).sum();
+    println!(
+        "\npgo <= static on {improved}/{} benchmarks; {flipped} decisions flipped",
+        results.len()
+    );
+}

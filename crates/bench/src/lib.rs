@@ -7,18 +7,21 @@
 //! * [`experiments`] — Figure 10 (dynamic communication counts) and
 //!   Table III (performance improvement),
 //! * [`ablation`] — component / threshold / frequency ablations beyond the
-//!   paper.
+//!   paper,
+//! * [`pgo`] — static heuristics vs measured-profile feedback
+//!   (instrument → simulate → recompile).
 //!
 //! Runnable binaries: `table1`, `table2`, `fig10`, `table3`,
-//! `ablation_threshold`, `ablation_placement`, `ablation_freq` (all accept
-//! `--small` / `--full` to change the problem size) — plus Criterion
-//! benches `comm_costs`, `olden`, and `pipeline`.
+//! `ablation_threshold`, `ablation_placement`, `ablation_freq`,
+//! `ablation_pgo` (all accept `--small` / `--full` to change the problem
+//! size) — plus Criterion benches `comm_costs`, `olden`, and `pipeline`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
 pub mod experiments;
+pub mod pgo;
 pub mod render;
 pub mod table1;
 

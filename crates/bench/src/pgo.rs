@@ -1,0 +1,181 @@
+//! Profile-guided-optimization ablation (EXPERIMENTS.md `ablation_pgo`):
+//! for each Olden benchmark, run the instrumented build (simple compile,
+//! per-site trace recording), fold the trace into a [`Profile`],
+//! recompile with the profile feeding placement and selection, and
+//! compare against the static heuristics.
+
+use earth_commopt::{CommOptConfig, OptReport, Profile, ProfileDb};
+use earth_olden::{run, Benchmark, Build, Preset};
+use earth_sim::{CodegenOptions, Machine, MachineConfig, RunResult};
+use std::sync::Arc;
+
+/// The outcome of the static-vs-PGO comparison on one benchmark.
+#[derive(Debug, Clone)]
+pub struct PgoResult {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Sites assigned over the program fed to the optimizer.
+    pub sites_instrumented: usize,
+    /// Sites of those the profile has counters for.
+    pub sites_matched: usize,
+    /// Selection decisions where the measured choice differed from the
+    /// static heuristic.
+    pub decisions_flipped: usize,
+    /// Virtual time of the statically-optimized build (ns).
+    pub static_time_ns: u64,
+    /// Virtual time of the profile-guided build (ns).
+    pub pgo_time_ns: u64,
+    /// Total communication of the statically-optimized build.
+    pub static_comm: u64,
+    /// Total communication of the profile-guided build.
+    pub pgo_comm: u64,
+}
+
+/// Runs the instrumented build of a benchmark — the simple (unoptimized)
+/// compile with [`CodegenOptions::record_sites`] on, which is the same
+/// tree the feedback compile assigns sites over — and folds the run's
+/// per-site trace into a [`Profile`].
+pub fn collect_profile(bench: &Benchmark, preset: Preset, n_nodes: u16) -> Profile {
+    let (prog, _) = earth_olden::build_ir(bench, &Build::Simple);
+    let opts = CodegenOptions {
+        record_sites: true,
+        ..CodegenOptions::default()
+    };
+    let compiled = earth_sim::compile(&prog, opts).expect("instrumented codegen");
+    let entry = compiled.function_by_name("main").expect("benchmark main");
+    let mut m = Machine::new(MachineConfig::with_nodes(n_nodes));
+    let r = m
+        .run(&compiled, entry, &(bench.args)(preset))
+        .expect("instrumented run");
+    Profile::from_trace(&compiled, &r.site_trace)
+}
+
+/// Optimized compile + run keeping the optimizer's report (which
+/// [`earth_olden::run`] discards).
+fn optimized_run(
+    bench: &Benchmark,
+    cfg: CommOptConfig,
+    preset: Preset,
+    n_nodes: u16,
+) -> (RunResult, OptReport) {
+    let (prog, report) = earth_olden::build_ir(bench, &Build::Optimized(cfg));
+    let compiled = earth_sim::compile(&prog, CodegenOptions::default()).expect("optimized codegen");
+    let entry = compiled.function_by_name("main").expect("benchmark main");
+    let mut m = Machine::new(MachineConfig::with_nodes(n_nodes));
+    let r = m
+        .run(&compiled, entry, &(bench.args)(preset))
+        .expect("optimized run");
+    (r, report)
+}
+
+/// Instrument → simulate → recompile-with-profile for one benchmark,
+/// asserting that the simple, static, and profile-guided builds agree on
+/// the result.
+pub fn run_pgo(bench: &Benchmark, preset: Preset, n_nodes: u16) -> PgoResult {
+    let profile = collect_profile(bench, preset, n_nodes);
+    let db = Arc::new(ProfileDb::new(profile));
+
+    // Site accounting over the tree the optimizer will see.
+    let (prog, _) = earth_olden::build_ir(bench, &Build::Simple);
+    let sites_instrumented = earth_ir::assign_program_sites(&prog).len();
+    let sites_matched = prog
+        .iter_functions()
+        .map(|(fid, f)| db.function_view(fid, f).matched())
+        .sum();
+
+    let baseline = run(bench, &Build::Simple, preset, n_nodes).expect("simple run");
+    let (st, _) = optimized_run(bench, CommOptConfig::default(), preset, n_nodes);
+    let pgo_cfg = CommOptConfig {
+        profile: Some(db),
+        ..CommOptConfig::default()
+    };
+    let (pg, report) = optimized_run(bench, pgo_cfg, preset, n_nodes);
+    assert_eq!(
+        st.ret, baseline.ret,
+        "{}: static build changed the result",
+        bench.name
+    );
+    assert_eq!(
+        pg.ret, baseline.ret,
+        "{}: PGO build changed the result",
+        bench.name
+    );
+
+    PgoResult {
+        bench: bench.name,
+        sites_instrumented,
+        sites_matched,
+        decisions_flipped: report.total().pgo_flips,
+        static_time_ns: st.time_ns,
+        pgo_time_ns: pg.time_ns,
+        static_comm: st.stats.total_comm(),
+        pgo_comm: pg.stats.total_comm(),
+    }
+}
+
+/// Renders PGO results as a table.
+pub fn render_pgo(results: &[PgoResult]) -> String {
+    let data: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.to_string(),
+                format!("{}/{}", r.sites_matched, r.sites_instrumented),
+                r.decisions_flipped.to_string(),
+                crate::render::secs(r.static_time_ns),
+                crate::render::secs(r.pgo_time_ns),
+                format!(
+                    "{:+.2}%",
+                    100.0 * (r.pgo_time_ns as f64 - r.static_time_ns as f64)
+                        / r.static_time_ns as f64
+                ),
+                r.static_comm.to_string(),
+                r.pgo_comm.to_string(),
+            ]
+        })
+        .collect();
+    crate::render::table(
+        &[
+            "benchmark",
+            "sites",
+            "flips",
+            "static(s)",
+            "pgo(s)",
+            "delta",
+            "comm",
+            "comm-pgo",
+        ],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_olden::by_name;
+
+    /// Every benchmark's profile covers sites, and feedback never changes
+    /// the computed result (asserted inside `run_pgo`).
+    #[test]
+    fn pgo_matches_sites_and_preserves_results() {
+        for name in ["power", "health"] {
+            let bench = by_name(name).unwrap();
+            let r = run_pgo(&bench, Preset::Test, 2);
+            assert!(r.sites_matched > 0, "{name}: no sites matched");
+            assert!(
+                r.sites_matched <= r.sites_instrumented,
+                "{name}: matched {} of {} sites",
+                r.sites_matched,
+                r.sites_instrumented
+            );
+        }
+    }
+
+    #[test]
+    fn pgo_renders() {
+        let bench = by_name("perimeter").unwrap();
+        let r = run_pgo(&bench, Preset::Test, 2);
+        let s = render_pgo(std::slice::from_ref(&r));
+        assert!(s.contains("perimeter"), "{s}");
+    }
+}

@@ -1,5 +1,8 @@
 //! Configuration of the communication optimizer.
 
+use earth_profile::ProfileDb;
+use std::sync::Arc;
+
 /// The frequency-adjustment model of the possible-placement analysis
 /// (the paper's `adjustFrequency`, Figure 6).
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +102,14 @@ pub struct CommOptConfig {
     /// Enable redundant-communication elimination (reuse of an already
     /// issued read).
     pub enable_redundancy_elim: bool,
+    /// Measured execution profile (profile-guided optimization). When set,
+    /// placement replaces the static frequency guesses — halved branch
+    /// frequencies, `loop_factor` trip counts — with measured branch
+    /// probabilities and trip counts, and blocking becomes a pure
+    /// cost-model decision over measured execution counts
+    /// ([`should_block_profiled`](CommOptConfig::should_block_profiled)).
+    /// `None` keeps the paper's static heuristics.
+    pub profile: Option<Arc<ProfileDb>>,
 }
 
 impl Default for CommOptConfig {
@@ -112,6 +123,7 @@ impl Default for CommOptConfig {
             enable_motion: true,
             enable_blocking: true,
             enable_redundancy_elim: true,
+            profile: None,
         }
     }
 }
@@ -174,6 +186,42 @@ impl CommOptConfig {
         let pipelined = self.cost.pipelined_cost(read_fields, write_fields);
         blocked < pipelined
     }
+
+    /// The blocking decision with measured evidence: `execs` is how many
+    /// times the span's accesses actually executed in the profiling run.
+    ///
+    /// A span that never executed is not blocked (its `blkmov` would be
+    /// pure overhead on the paths that do run). A span that did execute is
+    /// decided by the cost model *alone*: the static `block_threshold`
+    /// gate — a stand-in for "is this span worth it?" when frequencies are
+    /// guesses — is replaced by the measurement, so a hot two-word span
+    /// (2 × 1908 ns pipelined vs 2602 ns blocked) now blocks, and the
+    /// spurious-words rule still protects dependent chains.
+    pub fn should_block_profiled(
+        &self,
+        read_fields: usize,
+        write_fields: usize,
+        struct_words: usize,
+        full_init: bool,
+        execs: u64,
+    ) -> bool {
+        if !self.enable_blocking || execs == 0 {
+            return false;
+        }
+        let words_needed = read_fields + write_fields;
+        if struct_words as f64 > self.spurious_ratio * words_needed as f64 {
+            return false;
+        }
+        let mut blocked = if full_init {
+            0.0
+        } else {
+            self.cost.blkmov_cost(struct_words)
+        };
+        if write_fields > 0 {
+            blocked += self.cost.blkmov_cost(struct_words);
+        }
+        blocked < self.cost.pipelined_cost(read_fields, write_fields)
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +267,22 @@ mod tests {
         assert_eq!(c.blkmov_cost(1), 2602.0);
         assert_eq!(c.blkmov_cost(3), 2602.0 + 320.0);
         assert_eq!(c.pipelined_cost(2, 1), 2.0 * 1908.0 + 1749.0);
+    }
+
+    #[test]
+    fn profiled_blocking_follows_measurement() {
+        let cfg = CommOptConfig::default();
+        // A hot two-word span is below the static threshold of three but
+        // profitable by pure cost (2 x 1908 > 2602): measurement flips it.
+        assert!(!cfg.should_block(2, 0, 2));
+        assert!(cfg.should_block_profiled(2, 0, 2, false, 100));
+        // A span that never executed is never blocked, however big.
+        assert!(cfg.should_block(3, 0, 3));
+        assert!(!cfg.should_block_profiled(3, 0, 3, false, 0));
+        // The spurious-words rule still applies under measurement.
+        assert!(!cfg.should_block_profiled(3, 0, 60, false, 100));
+        // A single profiled read is not worth a blkmov (1908 < 2602).
+        assert!(!cfg.should_block_profiled(1, 0, 1, false, 100));
     }
 
     #[test]

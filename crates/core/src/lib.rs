@@ -48,12 +48,13 @@ pub mod selection;
 pub mod transform;
 
 pub use config::{CommCostModel, CommOptConfig, FreqModel};
+pub use earth_profile::{FuncProfile, Profile, ProfileDb};
 pub use inline::{inline_functions, InlineConfig, InlineReport};
 pub use layout::{reorder_fields, LayoutReport};
 pub use motion::{Motion, MotionKind, MotionLog};
-pub use placement::{analyze_placement, Placement};
+pub use placement::{analyze_placement, analyze_placement_profiled, Placement};
 pub use rce::{CommSet, Rce};
-pub use selection::{select, Plan, Replace, SelectionStats};
+pub use selection::{select, select_profiled, Plan, Replace, SelectionStats};
 pub use transform::apply_plan;
 
 use earth_analysis::ProgramAnalysis;
@@ -90,6 +91,7 @@ impl OptReport {
             t.pipelined_reads += f.stats.pipelined_reads;
             t.reads_rewritten += f.stats.reads_rewritten;
             t.writes_rewritten += f.stats.writes_rewritten;
+            t.pgo_flips += f.stats.pgo_flips;
         }
         t
     }
@@ -101,6 +103,14 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Clamps a requested worker count to a sane pool: at least 1, at most
+/// [`default_workers`] (the machine's available parallelism). `--workers 0`
+/// and oversubscribed requests both land on a real pool size; the result
+/// never changes *what* the optimizer produces, only how wide it fans out.
+pub fn clamp_workers(requested: usize) -> usize {
+    requested.clamp(1, default_workers())
 }
 
 /// Placement analysis + selection + transformation for one function,
@@ -115,8 +125,12 @@ fn optimize_function(
 ) -> (FuncId, Function, FnReport) {
     let fa = analysis.function(fid);
     let mut func = prog.function(fid).clone();
-    let placement = analyze_placement(&func, fa, &cfg.freq);
-    let plan = select(prog, &mut func, fa, &placement, cfg);
+    // Resolve the profile (if any) against this function's sites *before*
+    // selection rewrites the tree — the same pipeline point at which the
+    // instrumented compile recorded them (see `earth_ir::site`).
+    let view = cfg.profile.as_ref().map(|db| db.function_view(fid, &func));
+    let placement = analyze_placement_profiled(&func, fa, &cfg.freq, view.as_ref());
+    let plan = select_profiled(prog, &mut func, fa, &placement, cfg, view.as_ref());
     apply_plan(&mut func, &plan);
     let report = FnReport {
         func: fid,
@@ -577,6 +591,103 @@ mod tests {
             read_pos > if_pos,
             "read must stay inside the branch: {text}"
         );
+    }
+
+    #[test]
+    fn worker_counts_are_clamped() {
+        assert_eq!(clamp_workers(0), 1, "--workers 0 must not mean no pool");
+        assert_eq!(clamp_workers(1), 1);
+        let cores = default_workers();
+        assert!(cores >= 1);
+        assert_eq!(clamp_workers(usize::MAX), cores, "no oversubscription");
+        assert_eq!(clamp_workers(cores), cores);
+    }
+
+    /// Feeding a measured profile changes blocking decisions: a hot
+    /// two-word span (below the static threshold of three) blocks, and a
+    /// never-executed three-word span stops blocking. Both flips are
+    /// counted.
+    #[test]
+    fn profile_feedback_flips_blocking_decisions() {
+        use std::sync::Arc;
+        let src = r#"
+            struct Pair { double x; double y; };
+            struct Triple { double a; double b; double c; };
+            double hot(Pair *p) {
+                double s;
+                double t;
+                s = p->x;
+                t = p->y;
+                return s + t;
+            }
+            double cold(Triple *q) {
+                double s;
+                s = q->a + q->b + q->c;
+                return s;
+            }
+            int main(int n) {
+                double acc;
+                Pair *pr;
+                Triple *tr;
+                int i;
+                pr = malloc(sizeof(Pair));
+                acc = 0.0;
+                i = 0;
+                while (i < n) {
+                    acc = acc + hot(pr);
+                    i = i + 1;
+                }
+                if (n < 0) {
+                    tr = malloc(sizeof(Triple));
+                    acc = acc + cold(tr);
+                }
+                return i;
+            }
+        "#;
+        // Static decisions: hot's 2-field span is below the threshold of
+        // three (pipelined); cold's 3-field span blocks.
+        let mut static_prog = compile(src).unwrap();
+        let static_report = optimize_program(&mut static_prog, &CommOptConfig::default());
+        assert_eq!(static_report.total().blocked_spans, 1);
+        assert_eq!(static_report.total().pgo_flips, 0);
+
+        // "Measure": hot ran 50 times, cold never. Build the profile by
+        // resolving real sites of the pre-optimization program, as the
+        // instrumented run would.
+        let prog = compile(src).unwrap();
+        let mut profile = earth_profile::Profile::new();
+        let mut seed = |fname: &str, execs: u64| {
+            let (fid, f) = prog
+                .iter_functions()
+                .find(|(_, f)| f.name == fname)
+                .unwrap();
+            for (_, site) in earth_ir::assign_sites(fid, f).iter() {
+                profile.record(
+                    site.clone(),
+                    earth_profile::SiteCounters {
+                        execs,
+                        bytes: execs * 8,
+                        ..Default::default()
+                    },
+                );
+            }
+        };
+        seed("hot", 50);
+        seed("main", 50);
+        let cfg = CommOptConfig {
+            profile: Some(Arc::new(ProfileDb::new(profile))),
+            ..CommOptConfig::default()
+        };
+        let mut pgo_prog = compile(src).unwrap();
+        let report = optimize_program(&mut pgo_prog, &cfg);
+        let t = report.total();
+        // hot's pair span flipped to blocked; cold fell back to the
+        // static model (no matched sites: its decision is unchanged, not
+        // counted as a flip).
+        assert_eq!(t.blocked_spans, 2, "hot now blocks, cold still does");
+        assert_eq!(t.pgo_flips, 1);
+        // Semantics preserved.
+        earth_ir::validate_program(&pgo_prog).unwrap();
     }
 
     /// Under a redundancy-only configuration the duplicate loads still

@@ -29,6 +29,7 @@ use crate::config::FreqModel;
 use crate::rce::{CommSet, Rce};
 use earth_analysis::{AccessKind, FunctionAnalysis};
 use earth_ir::{Basic, Function, Label, MemRef, Operand, Place, Rvalue, Stmt, StmtKind};
+use earth_profile::FuncProfile;
 use std::collections::{HashMap, HashSet};
 
 /// Results of possible-placement analysis for one function.
@@ -82,6 +83,21 @@ impl Placement {
 /// assert_eq!(placement.reads_before[&first].len(), 2);
 /// ```
 pub fn analyze_placement(f: &Function, fa: &FunctionAnalysis, freq: &FreqModel) -> Placement {
+    analyze_placement_profiled(f, fa, freq, None)
+}
+
+/// [`analyze_placement`] with an optional measured profile. When a
+/// statement has profile data, its *measured* branch probability replaces
+/// the static halving on conditionals and its *measured* mean trip count
+/// replaces [`FreqModel::loop_factor`] on loops; statements without data
+/// (never executed, or inserted after the profiling compile) keep the
+/// static adjustments.
+pub fn analyze_placement_profiled(
+    f: &Function,
+    fa: &FunctionAnalysis,
+    freq: &FreqModel,
+    profile: Option<&FuncProfile>,
+) -> Placement {
     // Statements whose subtree may return early: hoisting a read above
     // them makes it execute on paths where it originally did not (the
     // paper's footnote 2 — only allowed when speculative remote reads are
@@ -131,6 +147,7 @@ pub fn analyze_placement(f: &Function, fa: &FunctionAnalysis, freq: &FreqModel) 
         f,
         fa,
         freq,
+        profile,
         has_return,
         out: Placement::default(),
     };
@@ -144,11 +161,26 @@ struct Ctx<'a> {
     f: &'a Function,
     fa: &'a FunctionAnalysis,
     freq: &'a FreqModel,
+    profile: Option<&'a FuncProfile>,
     has_return: HashSet<Label>,
     out: Placement,
 }
 
 impl Ctx<'_> {
+    /// Measured probability that the branch at `l` was taken, if profiled.
+    fn branch_prob(&self, l: Label) -> Option<f64> {
+        self.profile.and_then(|p| p.branch_prob(l))
+    }
+
+    /// Expected iterations of the loop at `l`: the measured mean trip
+    /// count when profiled, the static [`FreqModel::loop_factor`] guess
+    /// otherwise.
+    fn loop_trips(&self, l: Label) -> f64 {
+        self.profile
+            .and_then(|p| p.loop_trips(l))
+            .unwrap_or(self.freq.loop_factor)
+    }
+
     /// A read tuple `(p, f)` cannot be propagated above statement `l` if
     /// `l` writes `p` itself or may write `p->f`.
     fn read_killed_by(&self, t: &Rce, l: Label) -> bool {
@@ -252,11 +284,18 @@ impl Ctx<'_> {
             StmtKind::If { then_s, else_s, .. } => {
                 let t = self.collect_reads(then_s);
                 let e = self.collect_reads(else_s);
+                // Static model: each arm runs half the time. With a
+                // profile, the measured probability of the then-arm splits
+                // the frequency instead, so reads in a rarely-taken arm
+                // stay put while reads in the common arm still hoist.
+                let p_then = self.branch_prob(s.label).unwrap_or(0.5);
                 let mut out = CommSet::new();
-                for mut r in t.into_items().into_iter().chain(e.into_items()) {
-                    r.freq /= 2.0;
-                    r.speculative = true;
-                    out.add(r);
+                for (set, p) in [(t, p_then), (e, 1.0 - p_then)] {
+                    for mut r in set.into_items() {
+                        r.freq *= p;
+                        r.speculative = true;
+                        out.add(r);
+                    }
                 }
                 out
             }
@@ -320,12 +359,13 @@ impl Ctx<'_> {
         loop_label: Label,
         executes_once: bool,
     ) -> CommSet {
+        let trips = self.loop_trips(loop_label);
         let mut out = CommSet::new();
         for mut t in body_set.into_items() {
             if self.read_killed_by(&t, loop_label) {
                 continue;
             }
-            t.freq *= self.freq.loop_factor;
+            t.freq *= trips;
             // A `do` loop executes at least once, so the hoisted
             // dereference is not speculative.
             t.speculative |= !executes_once;
@@ -427,7 +467,7 @@ impl Ctx<'_> {
                     if self.fa.var_written(t.base, s.label) || self.loop_write_conflict(body, &t) {
                         continue;
                     }
-                    t.freq *= self.freq.loop_factor;
+                    t.freq *= self.loop_trips(s.label);
                     out.add(t);
                 }
                 out

@@ -33,6 +33,7 @@ use earth_ir::{
     Basic, BlkDir, FieldId, Function, Label, MemRef, Place, Program, Rvalue, Stmt, StmtKind, Ty,
     VarDecl, VarId, VarOrigin,
 };
+use earth_profile::FuncProfile;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// How a single original remote access is rewritten.
@@ -59,6 +60,9 @@ pub struct SelectionStats {
     pub reads_rewritten: usize,
     /// Number of original write statements rewritten to buffer stores.
     pub writes_rewritten: usize,
+    /// Number of blocking decisions where the measured profile reversed
+    /// the static cost-model choice (profile-guided runs only).
+    pub pgo_flips: usize,
 }
 
 /// The output of communication selection: edits for the transformer.
@@ -86,10 +90,29 @@ pub fn select(
     placement: &Placement,
     cfg: &CommOptConfig,
 ) -> Plan {
+    select_profiled(prog, func, fa, placement, cfg, None)
+}
+
+/// [`select`] with an optional measured profile. When the profiled run
+/// covered this function, blocking uses
+/// [`should_block_profiled`](CommOptConfig::should_block_profiled) over the
+/// span's measured execution count instead of the static threshold gate,
+/// and [`SelectionStats::pgo_flips`] counts the decisions that changed.
+pub fn select_profiled(
+    prog: &Program,
+    func: &mut Function,
+    fa: &FunctionAnalysis,
+    placement: &Placement,
+    cfg: &CommOptConfig,
+    profile: Option<&FuncProfile>,
+) -> Plan {
     let mut sel = Selector {
         prog,
         fa,
         cfg,
+        // Feedback only applies where the profiling run reached: a
+        // function with no matched sites falls back to the static model.
+        profile: profile.filter(|v| v.matched() > 0),
         plan: Plan::default(),
         covered: HashSet::new(),
         comm_counter: 0,
@@ -110,6 +133,7 @@ struct Selector<'a> {
     prog: &'a Program,
     fa: &'a FunctionAnalysis,
     cfg: &'a CommOptConfig,
+    profile: Option<&'a FuncProfile>,
     plan: Plan,
     /// Labels of original accesses already rewritten.
     covered: HashSet<Label>,
@@ -278,12 +302,37 @@ impl Selector<'_> {
         // A span that writes *every* transferred word before reading any
         // needs no up-front block read (RemoteFill is trivially satisfied).
         let full_init = read_fields.is_empty() && write_fields.len() == range_words;
-        if !self.cfg.should_block_ex(
+        let static_choice = self.cfg.should_block_ex(
             read_fields.len(),
             write_fields.len(),
             range_words,
             full_init,
-        ) {
+        );
+        let block = match self.profile {
+            Some(view) => {
+                // The span executes as a unit; any inner conditional can
+                // only lower individual access counts, so the hottest
+                // access measures the span.
+                let execs = accesses
+                    .iter()
+                    .map(|a| view.execs(a.label).unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                let measured = self.cfg.should_block_profiled(
+                    read_fields.len(),
+                    write_fields.len(),
+                    range_words,
+                    full_init,
+                    execs,
+                );
+                if measured != static_choice {
+                    self.plan.stats.pgo_flips += 1;
+                }
+                measured
+            }
+            None => static_choice,
+        };
+        if !block {
             return Some(continue_at);
         }
 

@@ -58,6 +58,7 @@ pub mod builder;
 pub mod diag;
 pub mod func;
 pub mod pretty;
+pub mod site;
 pub mod stmt;
 pub mod types;
 pub mod validate;
@@ -65,6 +66,7 @@ pub mod var;
 
 pub use diag::{DiagLabel, Diagnostic, Severity};
 pub use func::{FuncId, Function, Program};
+pub use site::{assign_program_sites, assign_sites, ProgramSites, SiteId, SiteMap};
 pub use stmt::{
     AtTarget, Basic, BinOp, BlkDir, Builtin, Cond, Const, DerefAccess, Label, MemRef, Operand,
     Place, Rvalue, Stmt, StmtKind, UnOp,

@@ -17,6 +17,7 @@
 //! | `IR007` | calls reference real functions and respect `void` |
 //! | `IR008` | every label was allocated by the owning function (no dangling labels) |
 //! | `IR009` | `switch` cases are distinct; `forall` init/step are basic |
+//! | `IR010` | every label maps to a single [`SiteId`](crate::site::SiteId) (stable profile sites) |
 //!
 //! [`validate_program`] keeps the original fail-fast [`ValidateError`] API on
 //! top of the diagnostic collector.
@@ -102,7 +103,17 @@ pub fn validate_function_diags(prog: &Program, id: FuncId) -> Vec<Diagnostic> {
         diags: Vec::new(),
     };
     v.stmt(&f.body);
-    v.diags
+    let mut diags = v.diags;
+    // IR010: a label occurring at more than one tree position cannot be
+    // given a stable SiteId, so profile feedback keyed on it is ambiguous.
+    for (label, a, b) in crate::site::duplicate_site_labels(id, f) {
+        diags.push(err(
+            "IR010",
+            label,
+            format!("label {label} has an unstable SiteId: occurs at both {a} and {b}"),
+        ));
+    }
+    diags
         .into_iter()
         .map(|d| d.in_func(f.name.clone()))
         .collect()
@@ -535,6 +546,38 @@ mod tests {
         let id = prog.add_function(f);
         let diags = validate_function_diags(&prog, id);
         assert!(diags.iter().any(|d| d.code == "IR002"), "{diags:?}");
+    }
+
+    #[test]
+    fn unstable_site_id_rejected() {
+        let (mut prog, _) = point_program();
+        let mut f = Function::new("twin", None);
+        let a = f.fresh_label();
+        let b = f.fresh_label();
+        // The same label `b` appears at two tree positions, so its SiteId
+        // is ambiguous: a profile keyed by it cannot be attributed.
+        f.body = Stmt {
+            label: a,
+            kind: StmtKind::Seq(vec![
+                Stmt {
+                    label: b,
+                    kind: StmtKind::Basic(Basic::Return(None)),
+                },
+                Stmt {
+                    label: b,
+                    kind: StmtKind::Basic(Basic::Return(None)),
+                },
+            ]),
+        };
+        let id = prog.add_function(f);
+        let diags = validate_function_diags(&prog, id);
+        let ir010: Vec<_> = diags.iter().filter(|d| d.code == "IR010").collect();
+        assert_eq!(ir010.len(), 1, "{diags:?}");
+        assert!(ir010[0].message.contains("unstable SiteId"));
+        assert!(ir010[0].message.contains("f0:0"), "{}", ir010[0].message);
+        assert!(ir010[0].message.contains("f0:1"), "{}", ir010[0].message);
+        // The plain duplicate-label check still fires alongside it.
+        assert!(diags.iter().any(|d| d.code == "IR002"));
     }
 
     #[test]

@@ -143,6 +143,7 @@ pub fn run(
     let (prog, _report) = build_ir(bench, build);
     let opts = CodegenOptions {
         force_local: matches!(build, Build::Sequential),
+        ..CodegenOptions::default()
     };
     let compiled = earth_sim::compile(&prog, opts).map_err(|e| SimError {
         time_ns: 0,

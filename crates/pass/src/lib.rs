@@ -54,8 +54,8 @@
 pub mod passes;
 
 pub use passes::{
-    FieldReorderPass, InlinePass, LocalityPass, OptimizePass, RaceLintPass, ValidateIrPass,
-    VerifyPlacementPass,
+    FieldReorderPass, InlinePass, LocalityPass, OptimizePass, PgoPass, RaceLintPass,
+    ValidateIrPass, VerifyPlacementPass,
 };
 
 use earth_analysis::{AnalysisCache, CacheStats};

@@ -10,6 +10,7 @@
 //! | [`VerifyPlacementPass`] | analysis consumer | reads the cache; aborts on violations |
 //! | [`RaceLintPass`] | analysis consumer | reads the cache; records verdicts |
 //! | [`OptimizePass`] | transform | reads the cache, then invalidates per changed [`FuncId`](earth_ir::FuncId) |
+//! | [`PgoPass`] | transform | [`OptimizePass`] under a measured [`ProfileDb`]; same discipline |
 //! | [`ValidateIrPass`] | check | pure; aborts on IR errors |
 
 use crate::{Pass, PassReport};
@@ -18,8 +19,10 @@ use earth_commopt::{
     inline_functions, optimize_program_with, reorder_fields, CommOptConfig, InlineConfig,
     OptReport, SelectionStats,
 };
-use earth_ir::{Diagnostic, Program, Severity};
+use earth_ir::{assign_program_sites, Diagnostic, Program, Severity};
 use earth_lint::LintReport;
+use earth_profile::ProfileDb;
+use std::sync::Arc;
 
 /// Local function inlining (the paper's Phase-I pass).
 #[derive(Debug, Clone)]
@@ -250,6 +253,96 @@ impl Pass for OptimizePass {
             }
         }
         let t = opt.total();
+        report.counter("workers", self.workers as u64);
+        report.counter("functions_changed", changed);
+        report.counter("pipelined_reads", t.pipelined_reads as u64);
+        report.counter("blocked_spans", t.blocked_spans as u64);
+        report.counter("blocked_writebacks", t.blocked_writebacks as u64);
+        report.counter("reads_rewritten", t.reads_rewritten as u64);
+        report.counter("writes_rewritten", t.writes_rewritten as u64);
+        self.last = Some(opt);
+        Ok(())
+    }
+}
+
+/// Profile-guided communication optimization: [`OptimizePass`] driven by a
+/// measured [`ProfileDb`].
+///
+/// The pass runs on the pre-selection tree — the same tree the
+/// instrumented build assigned [`SiteId`](earth_ir::SiteId)s over, since
+/// both compiles share the deterministic pre-passes — so the profile's
+/// sites resolve by construction wherever the code is unchanged. Beyond
+/// [`OptimizePass`]'s counters it reports the PGO accounting the driver
+/// surfaces as one line:
+///
+/// * `sites_instrumented` — sites assigned over the program about to be
+///   optimized (what an instrumented build of it would record);
+/// * `sites_matched` — how many of those sites the profile has counters
+///   for (zero means the profile is stale or from a different program);
+/// * `decisions_flipped` — selection decisions where the measured
+///   cost-model choice differed from the static heuristic.
+#[derive(Debug, Clone)]
+pub struct PgoPass {
+    /// Optimizer configuration; [`CommOptConfig::profile`] holds the
+    /// database the pass was built with.
+    pub cfg: CommOptConfig,
+    /// Fan-out width (clamped to `1..=#functions`).
+    pub workers: usize,
+    /// The per-function reports of the last run.
+    pub last: Option<OptReport>,
+}
+
+impl PgoPass {
+    /// A profile-guided optimization pass: `cfg` with its
+    /// [`profile`](CommOptConfig::profile) replaced by `db`.
+    pub fn new(cfg: CommOptConfig, db: Arc<ProfileDb>, workers: usize) -> Self {
+        let mut cfg = cfg;
+        cfg.profile = Some(db);
+        PgoPass {
+            cfg,
+            workers,
+            last: None,
+        }
+    }
+}
+
+impl Pass for PgoPass {
+    fn name(&self) -> &'static str {
+        "pgo-optimize"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let db = self
+            .cfg
+            .profile
+            .clone()
+            .expect("PgoPass is always constructed with a profile");
+        // Site accounting must happen before selection rewrites the tree:
+        // afterwards optimizer-inserted statements carry fresh labels that
+        // no instrumented build ever saw.
+        let sites = assign_program_sites(prog);
+        let mut matched = 0u64;
+        for (fid, f) in prog.iter_functions() {
+            matched += db.function_view(fid, f).matched() as u64;
+        }
+        let analysis = cache.get(prog);
+        let opt = optimize_program_with(prog, &self.cfg, analysis, self.workers);
+        let mut changed = 0u64;
+        for f in &opt.functions {
+            if f.stats != SelectionStats::default() || !f.motion.is_empty() {
+                cache.invalidate_function(f.func);
+                changed += 1;
+            }
+        }
+        let t = opt.total();
+        report.counter("sites_instrumented", sites.len() as u64);
+        report.counter("sites_matched", matched);
+        report.counter("decisions_flipped", t.pgo_flips as u64);
         report.counter("workers", self.workers as u64);
         report.counter("functions_changed", changed);
         report.counter("pipelined_reads", t.pipelined_reads as u64);

@@ -138,6 +138,11 @@ pub enum Op {
     EndArm,
 }
 
+/// Sentinel site index: the instruction is not attributed to any profile
+/// site (sites were not recorded, or the statement was inserted after site
+/// assignment).
+pub const NO_SITE: u32 = u32::MAX;
+
 /// A compiled function.
 #[derive(Debug, Clone)]
 pub struct CompiledFunction {
@@ -149,6 +154,10 @@ pub struct CompiledFunction {
     pub n_slots: u32,
     /// Slots receiving the arguments, in order.
     pub param_slots: Vec<Slot>,
+    /// Per-op index into [`CompiledProgram::site_table`] ([`NO_SITE`] when
+    /// unattributed); parallel to `ops`. Empty when sites were not
+    /// recorded.
+    pub site_of: Vec<u32>,
 }
 
 /// A compiled program, indexed by [`FuncId`].
@@ -159,6 +168,10 @@ pub struct CompiledProgram {
     /// Struct sizes in words, parallel to the IR struct table (used by
     /// `malloc` and block moves).
     pub struct_words: Vec<u32>,
+    /// Interned statement sites referenced by [`CompiledFunction::site_of`]
+    /// (empty unless compiled with
+    /// [`record_sites`](crate::codegen::CodegenOptions::record_sites)).
+    pub site_table: Vec<earth_ir::SiteId>,
 }
 
 impl CompiledProgram {

@@ -1,12 +1,13 @@
 //! Lowering from SIMPLE IR to threaded bytecode (the simulator's Phase
 //! III: thread generation + code generation).
 
-use crate::bytecode::{CallAt, CompiledFunction, CompiledProgram, Op, Opnd, Pc, Slot};
+use crate::bytecode::{CallAt, CompiledFunction, CompiledProgram, Op, Opnd, Pc, Slot, NO_SITE};
 use crate::value::Value;
 use earth_ir::{
-    AtTarget, Basic, Cond, Const, Function, MemRef, Operand, Place, Program, Rvalue, Stmt,
-    StmtKind, Ty,
+    AtTarget, Basic, Cond, Const, FuncId, Function, MemRef, Operand, Place, Program, Rvalue,
+    SiteId, SiteMap, Stmt, StmtKind, Ty,
 };
+use std::collections::HashMap;
 use std::fmt;
 
 /// Code generation options.
@@ -17,6 +18,12 @@ pub struct CodegenOptions {
     /// meaningful for single-node runs of programs without parallel
     /// constructs spanning nodes.
     pub force_local: bool,
+    /// Record provenance-stable [`SiteId`]s for every emitted instruction
+    /// ([`earth_ir::assign_sites`] over the program being compiled), so
+    /// the machine can collect a per-site
+    /// [`SiteTrace`](crate::stats::SiteTrace) for profile-guided
+    /// optimization.
+    pub record_sites: bool,
 }
 
 /// A code generation failure.
@@ -52,14 +59,37 @@ pub fn compile_program(
         .iter()
         .map(|s| s.size_words() as u32)
         .collect();
+    let mut interner = SiteInterner::default();
     let mut functions = Vec::with_capacity(prog.functions().len());
-    for (_, f) in prog.iter_functions() {
-        functions.push(compile_function(prog, f, opts)?);
+    for (fid, f) in prog.iter_functions() {
+        functions.push(compile_function(prog, fid, f, opts, &mut interner)?);
     }
     Ok(CompiledProgram {
         functions,
         struct_words,
+        site_table: interner.table,
     })
+}
+
+/// Program-wide deduplication of [`SiteId`]s into a dense `u32` index.
+/// Functions are compiled in [`FuncId`] order and ops in emission order, so
+/// the interned table is deterministic.
+#[derive(Default)]
+struct SiteInterner {
+    table: Vec<SiteId>,
+    index: HashMap<SiteId, u32>,
+}
+
+impl SiteInterner {
+    fn intern(&mut self, site: &SiteId) -> u32 {
+        if let Some(&i) = self.index.get(site) {
+            return i;
+        }
+        let i = self.table.len() as u32;
+        self.table.push(site.clone());
+        self.index.insert(site.clone(), i);
+        i
+    }
 }
 
 struct FnCg<'a> {
@@ -75,12 +105,22 @@ struct FnCg<'a> {
     /// Nesting depth of parallel arms / forall bodies (returns forbidden
     /// inside).
     par_depth: u32,
+    /// Site assignment for this function's labels (empty unless
+    /// `opts.record_sites`).
+    sites: SiteMap,
+    /// Interned site index attributed to ops emitted right now.
+    cur_site: u32,
+    /// Per-op site index, kept parallel to `ops` by `emit`.
+    site_of: Vec<u32>,
+    interner: &'a mut SiteInterner,
 }
 
 fn compile_function(
     prog: &Program,
+    fid: FuncId,
     func: &Function,
     opts: CodegenOptions,
+    interner: &mut SiteInterner,
 ) -> Result<CompiledFunction, CodegenError> {
     let err = |m: String| CodegenError {
         func: func.name.clone(),
@@ -107,6 +147,11 @@ fn compile_function(
         }
     }
 
+    let sites = if opts.record_sites {
+        earth_ir::assign_sites(fid, func)
+    } else {
+        SiteMap::default()
+    };
     let mut cg = FnCg {
         prog,
         func,
@@ -116,22 +161,32 @@ fn compile_function(
         scratch,
         n_slots: next,
         par_depth: 0,
+        sites,
+        cur_site: NO_SITE,
+        site_of: Vec::new(),
+        interner,
     };
     // Shared variables get their cells at entry.
     for (v, d) in func.iter_vars() {
         if d.shared {
             let dst = cg.slot_of[v.index()];
-            cg.ops.push(Op::AllocShared { dst });
+            cg.emit(Op::AllocShared { dst });
         }
     }
     cg.stmt(&func.body)?;
     // Implicit return for void functions falling off the end.
-    cg.ops.push(Op::Ret { val: None });
+    cg.emit(Op::Ret { val: None });
+    debug_assert_eq!(cg.ops.len(), cg.site_of.len());
     Ok(CompiledFunction {
         name: func.name.clone(),
         ops: cg.ops,
         n_slots: cg.n_slots,
         param_slots: func.params.iter().map(|p| cg.slot_of[p.index()]).collect(),
+        site_of: if opts.record_sites {
+            cg.site_of
+        } else {
+            Vec::new()
+        },
     })
 }
 
@@ -163,6 +218,7 @@ impl FnCg<'_> {
     fn emit(&mut self, op: Op) -> Pc {
         let pc = self.here();
         self.ops.push(op);
+        self.site_of.push(self.cur_site);
         pc
     }
 
@@ -189,8 +245,24 @@ impl FnCg<'_> {
 
     // ---- statements ----------------------------------------------------
 
+    /// Ops emitted while lowering a statement are attributed to the
+    /// innermost enclosing statement that has a site (loop back-branches
+    /// emitted after the body thus belong to the loop, not its last child).
     fn stmt(&mut self, s: &Stmt) -> Result<(), CodegenError> {
-        match &s.kind {
+        let saved = self.cur_site;
+        if let Some(site) = self.sites.get(s.label) {
+            self.cur_site = self.interner.intern(site);
+        } else if self.opts.record_sites {
+            // Fresh label from a later transformation: unattributed.
+            self.cur_site = NO_SITE;
+        }
+        let r = self.stmt_kind(&s.kind);
+        self.cur_site = saved;
+        r
+    }
+
+    fn stmt_kind(&mut self, kind: &StmtKind) -> Result<(), CodegenError> {
+        match kind {
             StmtKind::Seq(ss) => {
                 for c in ss {
                     self.stmt(c)?;
@@ -403,18 +475,19 @@ impl FnCg<'_> {
                 if !self.is_remote(*ptr) {
                     // A local block move: word-by-word local accesses.
                     for w in off..off + words {
-                        match dir {
-                            earth_ir::BlkDir::RemoteToLocal => self.ops.push(Op::LoadLocal {
+                        let op = match dir {
+                            earth_ir::BlkDir::RemoteToLocal => Op::LoadLocal {
                                 dst: buf_slot + w,
                                 ptr: self.slot(*ptr),
                                 field: w,
-                            }),
-                            earth_ir::BlkDir::LocalToRemote => self.ops.push(Op::StoreLocal {
+                            },
+                            earth_ir::BlkDir::LocalToRemote => Op::StoreLocal {
                                 ptr: self.slot(*ptr),
                                 field: w,
                                 src: Opnd::Slot(buf_slot + w),
-                            }),
-                        }
+                            },
+                        };
+                        self.emit(op);
                     }
                     return Ok(());
                 }
@@ -622,7 +695,14 @@ mod tests {
         "#,
         )
         .unwrap();
-        let cp = compile_program(&prog, CodegenOptions { force_local: true }).unwrap();
+        let cp = compile_program(
+            &prog,
+            CodegenOptions {
+                force_local: true,
+                ..CodegenOptions::default()
+            },
+        )
+        .unwrap();
         assert!(cp.functions[0]
             .ops
             .iter()
@@ -710,6 +790,61 @@ mod tests {
         assert!(f.ops.iter().any(|o| matches!(o, Op::JoinIters)));
         assert!(f.ops.iter().any(|o| matches!(o, Op::AllocShared { .. })));
         assert!(f.ops.iter().any(|o| matches!(o, Op::EndArm)));
+    }
+
+    #[test]
+    fn sites_recorded_parallel_to_ops() {
+        let prog = compile(
+            r#"
+            struct N { N* next; int v; };
+            int f(N *p) {
+                int acc;
+                acc = 0;
+                while (p != NULL) {
+                    acc = acc + p->v;
+                    p = p->next;
+                }
+                return acc;
+            }
+        "#,
+        )
+        .unwrap();
+        let cp = compile_program(
+            &prog,
+            CodegenOptions {
+                record_sites: true,
+                ..CodegenOptions::default()
+            },
+        )
+        .unwrap();
+        let f = &cp.functions[0];
+        assert_eq!(f.site_of.len(), f.ops.len());
+        assert!(!cp.site_table.is_empty());
+        // Every remote load and every branch is attributed to a site.
+        for (op, &site) in f.ops.iter().zip(&f.site_of) {
+            if matches!(op, Op::LoadRemote { .. } | Op::Br { .. }) {
+                assert_ne!(site, crate::bytecode::NO_SITE, "{op:?} unattributed");
+            }
+        }
+        // The loop's branch and back-jump belong to the While statement's
+        // site, not to the last statement of the body.
+        let br_site = f
+            .ops
+            .iter()
+            .zip(&f.site_of)
+            .find_map(|(op, &s)| matches!(op, Op::Br { .. }).then_some(s))
+            .unwrap();
+        let load_site = f
+            .ops
+            .iter()
+            .zip(&f.site_of)
+            .find_map(|(op, &s)| matches!(op, Op::LoadRemote { .. }).then_some(s))
+            .unwrap();
+        assert_ne!(br_site, load_site);
+        // Without the flag, nothing is recorded.
+        let plain = compile_program(&prog, CodegenOptions::default()).unwrap();
+        assert!(plain.site_table.is_empty());
+        assert!(plain.functions[0].site_of.is_empty());
     }
 
     #[test]

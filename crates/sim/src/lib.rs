@@ -53,12 +53,12 @@ pub mod machine;
 pub mod stats;
 pub mod value;
 
-pub use bytecode::{CompiledFunction, CompiledProgram};
+pub use bytecode::{CompiledFunction, CompiledProgram, NO_SITE};
 pub use codegen::{compile_program as compile, CodegenError, CodegenOptions};
 pub use cost::CostModel;
 pub use ddg::{build_ddg, render_fibers, FiberReport};
 pub use machine::{Machine, MachineConfig, RunResult, SimError};
-pub use stats::Stats;
+pub use stats::{SiteCounters, SiteTrace, Stats};
 pub use value::{Addr, NodeId, Value};
 
 use earth_ir::Program;
@@ -94,7 +94,14 @@ pub fn run_program(
 ///
 /// Propagates [`CodegenError`] (wrapped) and [`SimError`].
 pub fn run_sequential(prog: &Program, entry: &str, args: &[Value]) -> Result<RunResult, SimError> {
-    let compiled = compile(prog, CodegenOptions { force_local: true }).map_err(|e| SimError {
+    let compiled = compile(
+        prog,
+        CodegenOptions {
+            force_local: true,
+            ..CodegenOptions::default()
+        },
+    )
+    .map_err(|e| SimError {
         time_ns: 0,
         message: e.to_string(),
     })?;
@@ -543,6 +550,67 @@ mod tests {
         .unwrap();
         let e = run_program(&prog, "main", &[], 1).unwrap_err();
         assert!(e.message.contains("NULL"), "{e}");
+    }
+
+    #[test]
+    fn site_trace_counts_remote_ops_and_branches() {
+        let src = r#"
+            struct node { node* next; int v; };
+            int main() {
+                node *head;
+                node *n;
+                node *p;
+                int i;
+                int acc;
+                head = NULL;
+                for (i = 1; i <= 5; i = i + 1) {
+                    n = malloc(sizeof(node));
+                    n->v = i;
+                    n->next = head;
+                    head = n;
+                }
+                acc = 0;
+                p = head;
+                while (p != NULL) {
+                    acc = acc + p->v;
+                    p = p->next;
+                }
+                return acc;
+            }
+        "#;
+        let prog = earth_frontend::compile(src).unwrap();
+        let opts = CodegenOptions {
+            record_sites: true,
+            ..CodegenOptions::default()
+        };
+        let compiled = compile(&prog, opts).unwrap();
+        let entry = compiled.function_by_name("main").unwrap();
+        let mut m = Machine::new(MachineConfig::with_nodes(1));
+        let r = m.run(&compiled, entry, &[]).unwrap();
+        assert_eq!(r.ret, Value::Int(15));
+        assert!(r.site_trace.any_events());
+        // Total per-site remote-read executions match the global counter.
+        let total_reads: u64 = (0..compiled.site_table.len())
+            .map(|s| r.site_trace.site_total(s))
+            .map(|c| c.bytes / 8)
+            .sum::<u64>();
+        assert!(total_reads >= r.stats.read_data + r.stats.write_data);
+        // The while loop's branch site saw 5 taken + 1 not-taken.
+        let loop_site = (0..compiled.site_table.len())
+            .map(|s| r.site_trace.site_total(s))
+            .find(|c| c.taken == 5 && c.not_taken == 1);
+        assert!(loop_site.is_some(), "no site with 5/1 branch outcomes");
+        // Counters (not timing) are identical on a 4-node machine.
+        let mut m4 = Machine::new(MachineConfig::with_nodes(4));
+        let r4 = m4.run(&compiled, entry, &[]).unwrap();
+        for s in 0..compiled.site_table.len() {
+            let (a, b) = (r.site_trace.site_total(s), r4.site_trace.site_total(s));
+            assert_eq!(
+                (a.execs, a.bytes, a.taken, a.not_taken),
+                (b.execs, b.bytes, b.taken, b.not_taken),
+                "site {s} differs across node counts"
+            );
+        }
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! The simulation is deterministic: a single virtual clock, a stable event
 //! order, and a seeded LCG for the `rand()` builtin.
 
-use crate::bytecode::{CallAt, CompiledProgram, Op, Opnd, Pc, Slot};
+use crate::bytecode::{CallAt, CompiledProgram, Op, Opnd, Pc, Slot, NO_SITE};
 use crate::cost::CostModel;
-use crate::stats::Stats;
+use crate::stats::{SiteCounters, SiteTrace, Stats};
 use crate::value::{Addr, NodeHeap, NodeId, Value};
 use earth_ir::{BinOp, Builtin, FuncId, UnOp};
 use std::cmp::Reverse;
@@ -93,6 +93,10 @@ pub struct RunResult {
     /// Per-node EU busy time in nanoseconds (index = node id); the gap to
     /// `time_ns` is idle/stall time, so this exposes load balance.
     pub node_busy_ns: Vec<u64>,
+    /// Per-site, per-node event counters (empty unless the program was
+    /// compiled with
+    /// [`record_sites`](crate::codegen::CodegenOptions::record_sites)).
+    pub site_trace: SiteTrace,
 }
 
 impl RunResult {
@@ -188,6 +192,7 @@ pub struct Machine {
     events: BinaryHeap<Reverse<(u64, u64, ThreadId)>>,
     event_seq: u64,
     stats: Stats,
+    site_trace: SiteTrace,
     rng: u64,
     output: Vec<String>,
     result: Option<Value>,
@@ -206,6 +211,7 @@ impl Machine {
             events: BinaryHeap::new(),
             event_seq: 0,
             stats: Stats::default(),
+            site_trace: SiteTrace::default(),
             rng: cfg
                 .seed
                 .wrapping_mul(2862933555777941757)
@@ -248,6 +254,7 @@ impl Machine {
                 ),
             });
         }
+        self.site_trace = SiteTrace::sized(prog.site_table.len(), self.cfg.n_nodes as usize);
         let frame = self.new_frame(cf.n_slots);
         for (&slot, &v) in cf.param_slots.iter().zip(args) {
             self.frames[frame].cells[slot as usize] = Cell { val: v, ready: 0 };
@@ -280,6 +287,7 @@ impl Machine {
                 stats: self.stats,
                 output: std::mem::take(&mut self.output),
                 node_busy_ns: self.nodes.iter().map(|n| n.busy_ns).collect(),
+                site_trace: std::mem::take(&mut self.site_trace),
             }),
             None => Err(SimError {
                 time_ns: self.finished_at,
@@ -326,6 +334,25 @@ impl Machine {
             time_ns: time,
             message: message.into(),
         })
+    }
+
+    /// The per-(site, node) counters for the op at `(func, pc)`, when the
+    /// program was compiled with site recording and the op is attributed.
+    fn site_mut(
+        &mut self,
+        prog: &CompiledProgram,
+        func: FuncId,
+        pc: Pc,
+        node: usize,
+    ) -> Option<&mut SiteCounters> {
+        if self.site_trace.per_site.is_empty() {
+            return None;
+        }
+        let s = *prog.functions[func.index()].site_of.get(pc as usize)?;
+        if s == NO_SITE {
+            return None;
+        }
+        Some(&mut self.site_trace.per_site[s as usize][node])
     }
 
     // ---- value plumbing -------------------------------------------------
@@ -457,6 +484,11 @@ impl Machine {
             let ready_at = self.op_ready_at(&self.threads[tid as usize], rec.frame, &op);
             if ready_at > now {
                 self.stats.stall_ns += ready_at - now;
+                // The stall is charged to the *consuming* op's site: the
+                // statement whose input was still in flight.
+                if let Some(sc) = self.site_mut(prog, rec.func, rec.pc, node) {
+                    sc.stall_ns += ready_at - now;
+                }
                 self.nodes[node].eu_free_at = now;
                 self.nodes[node].busy_ns += now - span_start;
                 self.schedule(ready_at, tid);
@@ -516,6 +548,10 @@ impl Machine {
                 }
                 Op::LoadRemote { dst, ptr, field } => {
                     self.stats.read_data += 1;
+                    if let Some(sc) = self.site_mut(prog, rec.func, rec.pc, node) {
+                        sc.execs += 1;
+                        sc.bytes += 8;
+                    }
                     match self.cell(frame, ptr).val {
                         Value::Ptr(addr) => {
                             let v = self.heaps[addr.node as usize]
@@ -560,6 +596,10 @@ impl Machine {
                 }
                 Op::StoreRemote { ptr, field, src } => {
                     self.stats.write_data += 1;
+                    if let Some(sc) = self.site_mut(prog, rec.func, rec.pc, node) {
+                        sc.execs += 1;
+                        sc.bytes += 8;
+                    }
                     let Some(addr) = self.cell(frame, ptr).val.as_ptr().map_err(|m| SimError {
                         time_ns: now,
                         message: m,
@@ -591,6 +631,10 @@ impl Machine {
                 } => {
                     self.stats.blkmov += 1;
                     self.stats.blkmov_words += words as u64;
+                    if let Some(sc) = self.site_mut(prog, rec.func, rec.pc, node) {
+                        sc.execs += 1;
+                        sc.bytes += 8 * words as u64;
+                    }
                     match self.cell(frame, ptr).val {
                         Value::Ptr(addr) => {
                             let vals: Vec<Value> = self.heaps[addr.node as usize]
@@ -633,6 +677,10 @@ impl Machine {
                 } => {
                     self.stats.blkmov += 1;
                     self.stats.blkmov_words += words as u64;
+                    if let Some(sc) = self.site_mut(prog, rec.func, rec.pc, node) {
+                        sc.execs += 1;
+                        sc.bytes += 8 * words as u64;
+                    }
                     let Some(addr) = self.cell(frame, ptr).val.as_ptr().map_err(|m| SimError {
                         time_ns: now,
                         message: m,
@@ -969,6 +1017,14 @@ impl Machine {
                         time_ns: now,
                         message: m,
                     })?;
+                    if let Some(sc) = self.site_mut(prog, rec.func, rec.pc, node) {
+                        sc.execs += 1;
+                        if taken {
+                            sc.taken += 1;
+                        } else {
+                            sc.not_taken += 1;
+                        }
+                    }
                     self.threads[tid as usize].stack.last_mut().unwrap().pc =
                         if taken { then_pc } else { else_pc };
                     now += c.local_op_ns;

@@ -70,9 +70,94 @@ impl fmt::Display for Stats {
     }
 }
 
+/// Event counters for one profile site (one statement) on one node,
+/// collected when the program was compiled with
+/// [`record_sites`](crate::codegen::CodegenOptions::record_sites).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteCounters {
+    /// Executions of the site's instrumented operation (remote memory op
+    /// or branch).
+    pub execs: u64,
+    /// Bytes moved by remote reads/writes/block moves at this site
+    /// (8 bytes per word).
+    pub bytes: u64,
+    /// Nanoseconds the EU stalled on a not-yet-ready input at this site.
+    pub stall_ns: u64,
+    /// Branch outcomes: condition true (loop continues / then-branch).
+    pub taken: u64,
+    /// Branch outcomes: condition false (loop exits / else-branch).
+    pub not_taken: u64,
+}
+
+impl SiteCounters {
+    /// Whether nothing was recorded at this site.
+    pub fn is_zero(&self) -> bool {
+        *self == SiteCounters::default()
+    }
+}
+
+impl AddAssign for SiteCounters {
+    fn add_assign(&mut self, o: SiteCounters) {
+        self.execs += o.execs;
+        self.bytes += o.bytes;
+        self.stall_ns += o.stall_ns;
+        self.taken += o.taken;
+        self.not_taken += o.not_taken;
+    }
+}
+
+/// Per-site, per-node counters of one run; `per_site[site][node]` where
+/// `site` indexes [`CompiledProgram::site_table`](crate::bytecode::CompiledProgram::site_table).
+///
+/// Empty when the program was compiled without site recording.
+#[derive(Debug, Clone, Default)]
+pub struct SiteTrace {
+    /// Counters indexed `[site][node]`.
+    pub per_site: Vec<Vec<SiteCounters>>,
+}
+
+impl SiteTrace {
+    /// A trace sized for `sites` sites on `nodes` nodes.
+    pub fn sized(sites: usize, nodes: usize) -> Self {
+        SiteTrace {
+            per_site: vec![vec![SiteCounters::default(); nodes]; sites],
+        }
+    }
+
+    /// Whether any site recorded any event.
+    pub fn any_events(&self) -> bool {
+        self.per_site
+            .iter()
+            .any(|ns| ns.iter().any(|c| !c.is_zero()))
+    }
+
+    /// Sums a site's counters across nodes.
+    pub fn site_total(&self, site: usize) -> SiteCounters {
+        let mut acc = SiteCounters::default();
+        for c in &self.per_site[site] {
+            acc += *c;
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn site_counters_add_and_total() {
+        let mut t = SiteTrace::sized(2, 2);
+        t.per_site[1][0].execs = 3;
+        t.per_site[1][0].bytes = 24;
+        t.per_site[1][1].execs = 2;
+        assert!(t.any_events());
+        let total = t.site_total(1);
+        assert_eq!(total.execs, 5);
+        assert_eq!(total.bytes, 24);
+        assert!(t.site_total(0).is_zero());
+        assert!(!SiteTrace::default().any_events());
+    }
 
     #[test]
     fn totals_and_add() {

@@ -3,6 +3,8 @@
 //! ```text
 //! earthcc run  prog.ec [--nodes N] [--no-opt] [--no-locality] [--verify-placement]
 //!                      [--workers N] [--timings] [--report-json] [--arg V]...
+//!                      [--profile-out FILE | --profile-in FILE]
+//! earthcc pgo  prog.ec [--nodes N] [--workers N] [--arg V]...   # instrument, run, recompile
 //! earthcc dump prog.ec [--simple | --optimized] [--func NAME]
 //! earthcc stats prog.ec [--nodes N] [--arg V]...   # simple vs optimized
 //! earthcc lint prog.ec [--json]        # parallel-soundness linter
@@ -16,17 +18,35 @@
 //! placement verification, race lint, optimization, IR validation) shares
 //! one cached whole-program analysis, and `--timings` / `--report-json`
 //! print the per-pass wall times and cache counters.
+//!
+//! Profile-guided optimization: `run --profile-out` executes the
+//! instrumented build (pre-passes only, per-site trace recording) and
+//! writes the profile as JSON; `run --profile-in` feeds such a profile
+//! back into the optimizer and prints the `pgo:` accounting line;
+//! `earthcc pgo` does both in one shot and compares static vs profiled.
 
 use earthc::earth_commopt::{optimize_program, CommOptConfig};
 use earthc::earth_ir::{diag, pretty, Severity};
-use earthc::{earth_lint, Pipeline, Value};
+use earthc::{earth_lint, Pipeline, PipelineReport, Profile, ProfileDb, Value};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc verify <file.ec> [--json]"
+        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]... [--profile-out FILE | --profile-in FILE]\n  earthcc pgo    <file.ec> [--nodes N] [--workers N] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc verify <file.ec> [--json]"
     );
     ExitCode::from(2)
+}
+
+/// The one-line PGO accounting summary from the `pgo-optimize` pass.
+fn pgo_line(report: &PipelineReport) -> Option<String> {
+    let p = report.pass("pgo-optimize")?;
+    Some(format!(
+        "pgo: sites_instrumented={} sites_matched={} decisions_flipped={}",
+        p.get_counter("sites_instrumented").unwrap_or(0),
+        p.get_counter("sites_matched").unwrap_or(0),
+        p.get_counter("decisions_flipped").unwrap_or(0)
+    ))
 }
 
 struct Opts {
@@ -44,6 +64,8 @@ struct Opts {
     workers: Option<usize>,
     timings: bool,
     report_json: bool,
+    profile_in: Option<String>,
+    profile_out: Option<String>,
 }
 
 fn parse_opts(rest: &[String]) -> Result<Opts, String> {
@@ -62,6 +84,8 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
         workers: None,
         timings: false,
         report_json: false,
+        profile_in: None,
+        profile_out: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -89,6 +113,12 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
                         .map_err(|_| "--workers needs an integer")?,
                 );
             }
+            "--profile-in" => {
+                o.profile_in = Some(it.next().ok_or("--profile-in needs a file")?.clone());
+            }
+            "--profile-out" => {
+                o.profile_out = Some(it.next().ok_or("--profile-out needs a file")?.clone());
+            }
             "--entry" => o.entry = it.next().ok_or("--entry needs a value")?.clone(),
             "--func" => o.func = Some(it.next().ok_or("--func needs a value")?.clone()),
             "--arg" => {
@@ -106,6 +136,9 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
     }
     if o.file.is_empty() {
         return Err("no input file".into());
+    }
+    if o.profile_in.is_some() && o.profile_out.is_some() {
+        return Err("--profile-in and --profile-out are mutually exclusive".into());
     }
     Ok(o)
 }
@@ -140,6 +173,46 @@ fn main() -> ExitCode {
             if let Some(w) = opts.workers {
                 pipeline = pipeline.workers(w);
             }
+            if let Some(path) = &opts.profile_out {
+                // Instrumented run: pre-passes only, site recording on.
+                return match pipeline.instrument_source(&src, &opts.args) {
+                    Ok((r, profile)) => {
+                        if let Err(e) = std::fs::write(path, profile.to_json()) {
+                            eprintln!("error: cannot write `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("result: {}", r.ret);
+                        println!("time:   {} ns", r.time_ns);
+                        println!("stats:  {}", r.stats);
+                        for line in &r.output {
+                            println!("output: {line}");
+                        }
+                        println!("profile: {} sites -> {path}", profile.len());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            if let Some(path) = &opts.profile_in {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let profile = match Profile::from_json(&text) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("error: bad profile `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                pipeline = pipeline.profile(Some(Arc::new(ProfileDb::new(profile))));
+            }
             match pipeline.run_source_report(&src, &opts.args) {
                 Ok((r, report)) => {
                     println!("result: {}", r.ret);
@@ -147,6 +220,9 @@ fn main() -> ExitCode {
                     println!("stats:  {}", r.stats);
                     for line in &r.output {
                         println!("output: {line}");
+                    }
+                    if let Some(line) = pgo_line(&report) {
+                        println!("{line}");
                     }
                     if opts.timings {
                         print!("{}", report.render());
@@ -157,6 +233,56 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "pgo" => {
+            let mut base = Pipeline::new()
+                .nodes(opts.nodes)
+                .locality(opts.locality)
+                .entry(opts.entry.clone());
+            if let Some(w) = opts.workers {
+                base = base.workers(w);
+            }
+            let (instrumented, profile) = match base.instrument_source(&src, &opts.args) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: instrumented run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let static_build = base.clone().optimizer(Some(CommOptConfig::default()));
+            let profiled_build = static_build
+                .clone()
+                .profile(Some(Arc::new(ProfileDb::new(profile.clone()))));
+            match (
+                static_build.run_source(&src, &opts.args),
+                profiled_build.run_source_report(&src, &opts.args),
+            ) {
+                (Ok(st), Ok((pg, report))) => {
+                    assert_eq!(st.ret, pg.ret, "static and profiled builds disagree");
+                    println!("result:       {}", st.ret);
+                    println!(
+                        "instrumented: {:>12} ns | {} sites profiled",
+                        instrumented.time_ns,
+                        profile.len()
+                    );
+                    println!("static:       {:>12} ns | {}", st.time_ns, st.stats);
+                    println!("profiled:     {:>12} ns | {}", pg.time_ns, pg.stats);
+                    println!(
+                        "improvement:  {:.2}%  comm: {} -> {}",
+                        100.0 * (st.time_ns as f64 - pg.time_ns as f64) / st.time_ns as f64,
+                        st.stats.total_comm(),
+                        pg.stats.total_comm()
+                    );
+                    if let Some(line) = pgo_line(&report) {
+                        println!("{line}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                (Err(e), _) | (_, Err(e)) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
                 }

@@ -49,6 +49,7 @@ pub use earth_ir;
 pub use earth_lint;
 pub use earth_olden;
 pub use earth_pass;
+pub use earth_profile;
 pub use earth_sim;
 
 pub use earth_analysis::{AnalysisCache, CacheStats};
@@ -56,9 +57,11 @@ pub use earth_commopt::{CommOptConfig, OptReport};
 pub use earth_frontend::FrontendError;
 pub use earth_ir::Program;
 pub use earth_pass::{PassManager, PipelineReport};
+pub use earth_profile::{Profile, ProfileDb};
 pub use earth_sim::{CostModel, RunResult, SimError, Value};
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Any failure in the end-to-end pipeline.
 #[derive(Debug)]
@@ -150,6 +153,7 @@ pub struct Pipeline {
     inline: Option<earth_commopt::InlineConfig>,
     reorder_fields: bool,
     workers: Option<usize>,
+    profile: Option<Arc<ProfileDb>>,
     entry: String,
     machine: earth_sim::MachineConfig,
 }
@@ -173,6 +177,7 @@ impl Pipeline {
             inline: None,
             reorder_fields: false,
             workers: None,
+            profile: None,
             entry: "main".into(),
             machine: earth_sim::MachineConfig::default(),
         }
@@ -214,10 +219,24 @@ impl Pipeline {
     }
 
     /// Sets the optimizer's per-function fan-out width (number of scoped
-    /// worker threads). Defaults to [`earth_commopt::default_workers`];
-    /// the output is byte-identical for any width.
+    /// worker threads). Defaults to [`earth_commopt::default_workers`] and
+    /// is clamped through [`earth_commopt::clamp_workers`] — `0` and
+    /// oversubscribed requests can't spawn a degenerate pool. The output
+    /// is byte-identical for any width.
     pub fn workers(mut self, n: usize) -> Self {
-        self.workers = Some(n.max(1));
+        self.workers = Some(n);
+        self
+    }
+
+    /// Feeds a measured execution profile into the optimizer: the
+    /// communication optimization runs as a [`earth_pass::PgoPass`] with
+    /// measured branch probabilities, trip counts, and execution counts
+    /// replacing the static heuristics. Collect the profile with
+    /// [`instrument_source`](Self::instrument_source) on the same
+    /// pipeline configuration. `None` (the default) keeps the paper's
+    /// static frequency model.
+    pub fn profile(mut self, db: Option<Arc<ProfileDb>>) -> Self {
+        self.profile = db;
         self
     }
 
@@ -250,7 +269,8 @@ impl Pipeline {
 
     /// Builds the pass pipeline this configuration describes, in order:
     /// inline → field-reorder → locality → verify-placement → race-lint →
-    /// optimize → validate-ir (transform passes only when enabled).
+    /// optimize → validate-ir (transform passes only when enabled; with a
+    /// [`profile`](Self::profile) set, optimize runs as `pgo-optimize`).
     pub fn pass_manager(&self) -> PassManager {
         let mut pm = PassManager::new();
         if let Some(icfg) = &self.inline {
@@ -269,8 +289,17 @@ impl Pipeline {
             if self.lint {
                 pm.register(earth_pass::RaceLintPass::new());
             }
-            let workers = self.workers.unwrap_or_else(earth_commopt::default_workers);
-            pm.register(earth_pass::OptimizePass::new(cfg.clone(), workers));
+            let workers = earth_commopt::clamp_workers(
+                self.workers.unwrap_or_else(earth_commopt::default_workers),
+            );
+            match &self.profile {
+                Some(db) => {
+                    pm.register(earth_pass::PgoPass::new(cfg.clone(), db.clone(), workers));
+                }
+                None => {
+                    pm.register(earth_pass::OptimizePass::new(cfg.clone(), workers));
+                }
+            }
         } else if self.lint {
             pm.register(earth_pass::RaceLintPass::new());
         }
@@ -309,13 +338,21 @@ impl Pipeline {
         args: &[Value],
     ) -> Result<(RunResult, PipelineReport), PipelineError> {
         let report = self.apply_passes(&mut prog)?;
-        let compiled =
-            earth_sim::compile(&prog, earth_sim::CodegenOptions::default()).map_err(|e| {
-                SimError {
-                    time_ns: 0,
-                    message: e.to_string(),
-                }
-            })?;
+        let (_, result) = self.simulate(&prog, earth_sim::CodegenOptions::default(), args)?;
+        Ok((result, report))
+    }
+
+    /// Code generation + simulation of an already-lowered program.
+    fn simulate(
+        &self,
+        prog: &Program,
+        opts: earth_sim::CodegenOptions,
+        args: &[Value],
+    ) -> Result<(earth_sim::CompiledProgram, RunResult), PipelineError> {
+        let compiled = earth_sim::compile(prog, opts).map_err(|e| SimError {
+            time_ns: 0,
+            message: e.to_string(),
+        })?;
         let entry = compiled
             .function_by_name(&self.entry)
             .ok_or_else(|| SimError {
@@ -325,7 +362,58 @@ impl Pipeline {
         let mut mc = self.machine.clone();
         mc.n_nodes = self.nodes;
         let mut m = earth_sim::Machine::new(mc);
-        Ok((m.run(&compiled, entry, args)?, report))
+        let result = m.run(&compiled, entry, args)?;
+        Ok((compiled, result))
+    }
+
+    /// Runs the *instrumented* build of an already-compiled program: the
+    /// configured pre-passes (inlining, field reordering, locality) but
+    /// **no** communication optimization, code generated with
+    /// [`record_sites`](earth_sim::CodegenOptions::record_sites), and the
+    /// run's per-site trace folded into a [`Profile`].
+    ///
+    /// Skipping the optimizer is what makes the profile portable: sites
+    /// are recorded over the same pre-selection tree a later
+    /// profile-guided compile (same pipeline settings plus
+    /// [`profile`](Self::profile)) assigns sites over, so they resolve by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass and simulator errors; see
+    /// [`apply_passes`](Self::apply_passes) and [`earth_sim::Machine::run`].
+    pub fn instrument_program(
+        &self,
+        mut prog: Program,
+        args: &[Value],
+    ) -> Result<(RunResult, Profile), PipelineError> {
+        let mut instrumented = self.clone();
+        instrumented.optimize = None;
+        instrumented.verify = false;
+        instrumented.profile = None;
+        instrumented.apply_passes(&mut prog)?;
+        let opts = earth_sim::CodegenOptions {
+            record_sites: true,
+            ..Default::default()
+        };
+        let (compiled, result) = instrumented.simulate(&prog, opts, args)?;
+        let profile = Profile::from_trace(&compiled, &result.site_trace);
+        Ok((result, profile))
+    }
+
+    /// Compiles EARTH-C source and runs the instrumented build; see
+    /// [`instrument_program`](Self::instrument_program).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend, pass, and simulator errors.
+    pub fn instrument_source(
+        &self,
+        src: &str,
+        args: &[Value],
+    ) -> Result<(RunResult, Profile), PipelineError> {
+        let prog = earth_frontend::compile(src)?;
+        self.instrument_program(prog, args)
     }
 
     /// Runs the pipeline over an already-compiled program.

@@ -135,6 +135,64 @@ fn olden_kernels_are_deterministic() {
     }
 }
 
+/// Profile-guided optimization is worker-count-invariant too: feeding the
+/// same measured profile, 1 worker and N workers must produce
+/// byte-identical optimized IR and identical selection counters
+/// (including `pgo_flips`).
+#[test]
+fn pgo_output_is_worker_invariant() {
+    use earthc::earth_olden::Preset;
+    use earthc::earth_sim::{CodegenOptions, Machine, MachineConfig};
+    use earthc::{Profile, ProfileDb};
+    use std::sync::Arc;
+    for bench in earthc::earth_olden::suite() {
+        // Instrumented run: the simple build with site recording.
+        let prog = earthc::compile_earth_c(bench.source).expect("compiles");
+        let opts = CodegenOptions {
+            record_sites: true,
+            ..CodegenOptions::default()
+        };
+        let compiled = earthc::earth_sim::compile(&prog, opts).expect("codegen");
+        let entry = compiled.function_by_name("main").expect("main");
+        let mut m = Machine::new(MachineConfig::with_nodes(4));
+        let r = m
+            .run(&compiled, entry, &(bench.args)(Preset::Test))
+            .expect("instrumented run");
+        let db = Arc::new(ProfileDb::new(Profile::from_trace(
+            &compiled,
+            &r.site_trace,
+        )));
+        let cfg = CommOptConfig {
+            profile: Some(db),
+            ..CommOptConfig::default()
+        };
+        let opt = |workers: usize| {
+            let mut prog = earthc::compile_earth_c(bench.source).expect("compiles");
+            let analysis = earth_analysis::analyze(&prog);
+            let report = optimize_program_with(&mut prog, &cfg, &analysis, workers);
+            (pretty::print_program(&prog), report.total())
+        };
+        let (ir1, stats1) = opt(1);
+        // Every Olden kernel's measured profile flips at least one
+        // selection decision at this size, so this exercises the PGO path
+        // for real rather than vacuously agreeing on static choices.
+        assert!(stats1.pgo_flips > 0, "{}: no decisions flipped", bench.name);
+        for workers in [2usize, 8] {
+            let (ir_n, stats_n) = opt(workers);
+            assert_eq!(
+                ir1, ir_n,
+                "{}: PGO IR differs between 1 and {workers} workers",
+                bench.name
+            );
+            assert_eq!(
+                stats1, stats_n,
+                "{}: PGO stats differ between 1 and {workers} workers",
+                bench.name
+            );
+        }
+    }
+}
+
 /// The end-to-end pipeline (with inlining and field reordering enabled, so
 /// every transform pass runs) is worker-count-invariant too: same result,
 /// same virtual time, same dynamic communication stats.

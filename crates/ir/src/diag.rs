@@ -29,9 +29,11 @@
 //! assert_eq!(d, back);
 //! ```
 
+use crate::json::{self, ObjectExt as _};
 use crate::stmt::Label;
-use json::ObjectExt as _;
 use std::fmt;
+
+pub use crate::json::JsonError;
 
 /// How severe a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -293,292 +295,9 @@ pub fn from_json_array(src: &str) -> Result<Vec<Diagnostic>, JsonError> {
     items.iter().map(Diagnostic::from_value).collect()
 }
 
-/// A JSON parse or shape error.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// What went wrong.
-    pub message: String,
-    /// Byte offset of the problem, when known.
-    pub offset: Option<usize>,
-}
-
-impl JsonError {
-    fn shape(message: impl Into<String>) -> Self {
-        JsonError {
-            message: message.into(),
-            offset: None,
-        }
-    }
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.offset {
-            Some(o) => write!(f, "JSON error at byte {o}: {}", self.message),
-            None => write!(f, "JSON error: {}", self.message),
-        }
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-/// Minimal JSON reader/writer — just enough for the diagnostic encoding
-/// (objects, arrays, strings with escapes, unsigned integers, null).
-mod json {
-    use super::JsonError;
-
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Null,
-        Num(u64),
-        Str(String),
-        Array(Vec<Value>),
-        Object(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], JsonError> {
-            match self {
-                Value::Object(fields) => Ok(fields),
-                _ => Err(JsonError::shape(format!("{what} must be an object"))),
-            }
-        }
-    }
-
-    pub trait ObjectExt {
-        fn field(&self, key: &str) -> Option<&Value>;
-        fn get_str(&self, key: &str) -> Result<String, JsonError>;
-        fn get_u32(&self, key: &str) -> Result<u32, JsonError>;
-        fn get_array(&self, key: &str) -> Result<&[Value], JsonError>;
-    }
-
-    impl ObjectExt for [(String, Value)] {
-        fn field(&self, key: &str) -> Option<&Value> {
-            self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-        }
-
-        fn get_str(&self, key: &str) -> Result<String, JsonError> {
-            match self.field(key) {
-                Some(Value::Str(s)) => Ok(s.clone()),
-                _ => Err(JsonError::shape(format!("`{key}` must be a string"))),
-            }
-        }
-
-        fn get_u32(&self, key: &str) -> Result<u32, JsonError> {
-            match self.field(key) {
-                Some(Value::Num(n)) if *n <= u32::MAX as u64 => Ok(*n as u32),
-                _ => Err(JsonError::shape(format!("`{key}` must be a u32"))),
-            }
-        }
-
-        fn get_array(&self, key: &str) -> Result<&[Value], JsonError> {
-            match self.field(key) {
-                Some(Value::Array(items)) => Ok(items),
-                _ => Err(JsonError::shape(format!("`{key}` must be an array"))),
-            }
-        }
-    }
-
-    /// Serializes a string with JSON escaping.
-    pub fn string(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-        out
-    }
-
-    pub fn parse(src: &str) -> Result<Value, JsonError> {
-        let mut p = Parser {
-            bytes: src.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing data"));
-        }
-        Ok(v)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn err(&self, message: impl Into<String>) -> JsonError {
-            JsonError {
-                message: message.into(),
-                offset: Some(self.pos),
-            }
-        }
-
-        fn skip_ws(&mut self) {
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-            {
-                self.pos += 1;
-            }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(self.err(format!("expected `{}`", b as char)))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, JsonError> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Value::Str(self.string()?)),
-                Some(b'n') => {
-                    if self.bytes[self.pos..].starts_with(b"null") {
-                        self.pos += 4;
-                        Ok(Value::Null)
-                    } else {
-                        Err(self.err("invalid literal"))
-                    }
-                }
-                Some(b) if b.is_ascii_digit() => self.number(),
-                _ => Err(self.err("expected a JSON value")),
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, JsonError> {
-            let start = self.pos;
-            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
-                self.pos += 1;
-            }
-            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-            text.parse::<u64>()
-                .map(Value::Num)
-                .map_err(|_| self.err("number out of range"))
-        }
-
-        fn string(&mut self) -> Result<String, JsonError> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek() {
-                    None => return Err(self.err("unterminated string")),
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        match self.peek() {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'u') => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
-                                let hex = std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?;
-                                let cp = u32::from_str_radix(hex, 16)
-                                    .map_err(|_| self.err("bad \\u escape"))?;
-                                out.push(
-                                    char::from_u32(cp)
-                                        .ok_or_else(|| self.err("bad \\u code point"))?,
-                                );
-                                self.pos += 4;
-                            }
-                            _ => return Err(self.err("bad escape")),
-                        }
-                        self.pos += 1;
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 character.
-                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                            .map_err(|_| self.err("invalid UTF-8"))?;
-                        let c = rest.chars().next().expect("non-empty");
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, JsonError> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Object(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                let val = self.value()?;
-                fields.push((key, val));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Object(fields));
-                    }
-                    _ => return Err(self.err("expected `,` or `}`")),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, JsonError> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Array(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Array(items));
-                    }
-                    _ => return Err(self.err("expected `,` or `]`")),
-                }
-            }
-        }
-    }
-}
+// `JsonError` and the reader/writer live in [`crate::json`], shared by
+// every hand-rolled JSON surface in the workspace; `diag` re-exports the
+// error type so existing `diag::JsonError` users keep compiling.
 
 #[cfg(test)]
 mod tests {
@@ -613,6 +332,18 @@ mod tests {
         let d = Diagnostic::warning("RACE002", "tab\there \"quoted\" back\\slash\nnewline")
             .with_note("unicode: λ → ∀");
         assert_eq!(Diagnostic::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn json_round_trips_control_characters() {
+        let mut msg = String::from("ctrl:");
+        for cp in 0u32..0x20 {
+            msg.push(char::from_u32(cp).unwrap());
+        }
+        let d = Diagnostic::error("IR000", msg.clone()).with_note(msg);
+        let enc = d.to_json();
+        assert!(enc.chars().all(|c| (c as u32) >= 0x20), "{enc:?}");
+        assert_eq!(Diagnostic::from_json(&enc).unwrap(), d);
     }
 
     #[test]

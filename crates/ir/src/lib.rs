@@ -57,6 +57,7 @@
 pub mod builder;
 pub mod diag;
 pub mod func;
+pub mod json;
 pub mod pretty;
 pub mod site;
 pub mod stmt;

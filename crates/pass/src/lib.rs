@@ -59,6 +59,7 @@ pub use passes::{
 };
 
 use earth_analysis::{AnalysisCache, CacheStats};
+use earth_ir::json::string as json_string;
 use earth_ir::{Diagnostic, Program};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -175,8 +176,8 @@ impl PipelineReport {
         out
     }
 
-    /// Machine-readable JSON encoding (hand-rolled; the offline image has
-    /// no serde, matching [`earth_ir::diag`]).
+    /// Machine-readable JSON encoding (hand-rolled via the shared
+    /// [`earth_ir::json`] writer; the offline image has no serde).
     pub fn to_json(&self) -> String {
         let cache_json = |c: &CacheStats| {
             format!(
@@ -212,24 +213,6 @@ impl PipelineReport {
         ));
         s
     }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// A pipeline abort: the named pass rejected the program.

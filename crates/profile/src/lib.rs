@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use earth_ir::json;
 use earth_ir::{assign_sites, FuncId, Function, Label, SiteId};
 pub use earth_sim::SiteCounters;
 use earth_sim::{CompiledProgram, SiteTrace};
@@ -141,9 +142,10 @@ impl Profile {
                 s.push(',');
             }
             use std::fmt::Write;
+            json::push_string(&mut s, &site.to_string());
             let _ = write!(
                 s,
-                "\"{site}\":{{\"execs\":{},\"bytes\":{},\"stall_ns\":{},\"taken\":{},\"not_taken\":{}}}",
+                ":{{\"execs\":{},\"bytes\":{},\"stall_ns\":{},\"taken\":{},\"not_taken\":{}}}",
                 c.execs, c.bytes, c.stall_ns, c.taken, c.not_taken
             );
         }
@@ -159,57 +161,50 @@ impl Profile {
     /// Returns a [`ProfileError`] describing the first syntax problem,
     /// unknown key, or version mismatch.
     pub fn from_json(text: &str) -> Result<Profile, ProfileError> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
+        let err = |message: String| ProfileError { pos: 0, message };
+        let v = json::parse(text).map_err(ProfileError::from)?;
+        let top = v.as_object("profile").map_err(ProfileError::from)?;
         let mut profile = Profile::new();
         let mut version = None;
-        p.expect(b'{')?;
-        p.object_fields(|p, key| match key {
-            "version" => {
-                version = Some(p.number()?);
-                Ok(())
-            }
-            "sites" => {
-                p.expect(b'{')?;
-                p.object_fields(|p, key| {
-                    let site = SiteId::parse(key)
-                        .ok_or_else(|| p.err(format!("invalid site id `{key}`")))?;
-                    let mut c = SiteCounters::default();
-                    p.expect(b'{')?;
-                    p.object_fields(|p, key| {
-                        let v = p.number()?;
-                        match key {
-                            "execs" => c.execs = v,
-                            "bytes" => c.bytes = v,
-                            "stall_ns" => c.stall_ns = v,
-                            "taken" => c.taken = v,
-                            "not_taken" => c.not_taken = v,
-                            other => return Err(p.err(format!("unknown counter `{other}`"))),
+        for (key, val) in top {
+            match key.as_str() {
+                "version" => {
+                    version = Some(val.as_u64("`version`").map_err(ProfileError::from)?);
+                }
+                "sites" => {
+                    let sites = val.as_object("`sites`").map_err(ProfileError::from)?;
+                    for (site_key, counters) in sites {
+                        let site = SiteId::parse(site_key)
+                            .ok_or_else(|| err(format!("invalid site id `{site_key}`")))?;
+                        let fields = counters
+                            .as_object("site counters")
+                            .map_err(ProfileError::from)?;
+                        let mut c = SiteCounters::default();
+                        for (name, value) in fields {
+                            let n = value
+                                .as_u64(&format!("counter `{name}`"))
+                                .map_err(ProfileError::from)?;
+                            match name.as_str() {
+                                "execs" => c.execs = n,
+                                "bytes" => c.bytes = n,
+                                "stall_ns" => c.stall_ns = n,
+                                "taken" => c.taken = n,
+                                "not_taken" => c.not_taken = n,
+                                other => return Err(err(format!("unknown counter `{other}`"))),
+                            }
                         }
-                        Ok(())
-                    })?;
-                    profile.record(site, c);
-                    Ok(())
-                })
+                        profile.record(site, c);
+                    }
+                }
+                other => return Err(err(format!("unknown key `{other}`"))),
             }
-            other => Err(p.err(format!("unknown key `{other}`"))),
-        })?;
-        p.ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing input".into()));
         }
         match version {
             Some(FORMAT_VERSION) => Ok(profile),
-            Some(v) => Err(ProfileError {
-                pos: 0,
-                message: format!("unsupported profile version {v} (expected {FORMAT_VERSION})"),
-            }),
-            None => Err(ProfileError {
-                pos: 0,
-                message: "missing `version` field".into(),
-            }),
+            Some(v) => Err(err(format!(
+                "unsupported profile version {v} (expected {FORMAT_VERSION})"
+            ))),
+            None => Err(err("missing `version` field".into())),
         }
     }
 }
@@ -235,97 +230,11 @@ impl fmt::Display for ProfileError {
 
 impl std::error::Error for ProfileError {}
 
-/// Minimal recursive-descent reader for the profile's JSON subset:
-/// objects with string keys and unsigned-integer leaves.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, message: String) -> ProfileError {
+impl From<json::JsonError> for ProfileError {
+    fn from(e: json::JsonError) -> Self {
         ProfileError {
-            pos: self.pos,
-            message,
-        }
-    }
-
-    fn ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ProfileError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ProfileError> {
-        self.expect(b'"')?;
-        let start = self.pos;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            match b {
-                b'"' => {
-                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|_| self.err("invalid UTF-8 in string".into()))?
-                        .to_string();
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                b'\\' => return Err(self.err("escapes are not supported".into())),
-                _ => self.pos += 1,
-            }
-        }
-        Err(self.err("unterminated string".into()))
-    }
-
-    fn number(&mut self) -> Result<u64, ProfileError> {
-        self.ws();
-        let start = self.pos;
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if start == self.pos {
-            return Err(self.err("expected a number".into()));
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .unwrap()
-            .parse()
-            .map_err(|_| self.err("number out of range".into()))
-    }
-
-    /// Parses the fields of an object whose `{` was already consumed,
-    /// calling `field` with each key positioned at its value.
-    fn object_fields(
-        &mut self,
-        mut field: impl FnMut(&mut Self, &str) -> Result<(), ProfileError>,
-    ) -> Result<(), ProfileError> {
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            field(self, &key)?;
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                _ => return Err(self.err("expected `,` or `}`".into())),
-            }
+            pos: e.offset.unwrap_or(0),
+            message: e.message,
         }
     }
 }

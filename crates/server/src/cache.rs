@@ -1,0 +1,411 @@
+//! Content-addressed artifact cache with single-flight compilation,
+//! an LRU memory bound, and an optional on-disk spill directory.
+//!
+//! Keys are stable 64-bit content hashes (see [`crate::hash`]) over
+//! everything that determines the artifact: source text, compile
+//! options, profile, toolchain. The cache itself never computes keys —
+//! the backend does — so it stays generic over the artifact type.
+//!
+//! Concurrency model: the first thread to miss on a key installs a
+//! `Pending` marker and compiles *outside* the lock; every other thread
+//! that wants the same key blocks on a condvar until the artifact is
+//! ready (or the compile is abandoned, in which case one waiter takes
+//! over). A popular key is therefore compiled exactly once no matter
+//! how many clients stampede it.
+
+use crate::hash::key_hex;
+use crate::stats::CacheCounters;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
+
+/// On-disk spill for evicted artifacts.
+///
+/// `encode` may return `None` for artifacts that cannot be usefully
+/// persisted; those are evicted without a spill write. `decode`
+/// returning `None` (corrupt or incompatible file) is treated as a
+/// plain miss.
+pub struct Spill<V> {
+    /// Directory holding one `<key_hex>.json` file per spilled artifact.
+    pub dir: PathBuf,
+    /// Serializes an artifact for the spill file.
+    pub encode: fn(&V) -> Option<String>,
+    /// Restores an artifact from a spill file's contents.
+    pub decode: fn(&str) -> Option<V>,
+}
+
+impl<V> Spill<V> {
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{}.json", key_hex(key)))
+    }
+}
+
+enum Entry<V> {
+    /// A thread is compiling this key right now.
+    Pending,
+    /// The artifact is resident.
+    Ready {
+        value: Arc<V>,
+        /// Invalidation tag: 0 = never invalidated by profile updates.
+        tag: u64,
+        /// LRU clock value of the last touch.
+        last_used: u64,
+    },
+}
+
+struct State<V> {
+    entries: HashMap<u64, Entry<V>>,
+    /// Monotonic LRU clock.
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl<V> State<V> {
+    fn ready_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count()
+    }
+
+    fn pending_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e, Entry::Pending))
+            .count()
+    }
+
+    /// Evicts least-recently-used `Ready` entries until at most
+    /// `capacity` remain, spilling tag-0 artifacts to disk when a spill
+    /// is configured.
+    fn enforce_capacity(&mut self, capacity: usize, spill: Option<&Spill<V>>) {
+        while self.ready_count() > capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*k, *last_used)),
+                    Entry::Pending => None,
+                })
+                .min_by_key(|&(_, t)| t)
+                .map(|(k, _)| k);
+            let Some(key) = victim else { break };
+            if let Some(Entry::Ready { value, tag, .. }) = self.entries.remove(&key) {
+                if tag == 0 {
+                    if let Some(spill) = spill {
+                        if let Some(text) = (spill.encode)(&value) {
+                            if std::fs::write(spill.path(key), text).is_ok() {
+                                self.counters.spill_writes += 1;
+                            }
+                        }
+                    }
+                }
+                self.counters.evictions += 1;
+            }
+        }
+    }
+}
+
+/// The result of a cache lookup.
+pub enum Lookup<'a, V> {
+    /// The artifact was resident (or became resident while we waited
+    /// for another thread's compile of the same key).
+    Hit(Arc<V>),
+    /// The artifact was restored from the spill directory; it is now
+    /// resident again.
+    Spilled(Arc<V>),
+    /// Nobody has this key: the caller owns the compile. It must call
+    /// [`MissGuard::fulfill`] with the artifact, or drop the guard to
+    /// abandon (on compile failure), which wakes any waiters.
+    Miss(MissGuard<'a, V>),
+}
+
+/// Exclusive right to compile one key; see [`Lookup::Miss`].
+pub struct MissGuard<'a, V> {
+    cache: &'a ArtifactCache<V>,
+    key: u64,
+    done: bool,
+}
+
+impl<V> MissGuard<'_, V> {
+    /// The key being compiled.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Installs the compiled artifact, enforces the LRU bound, and
+    /// wakes all waiters.
+    pub fn fulfill(mut self, value: Arc<V>, tag: u64) {
+        self.done = true;
+        let mut st = self.cache.state.lock().expect("cache lock");
+        st.tick += 1;
+        let now = st.tick;
+        st.entries.insert(
+            self.key,
+            Entry::Ready {
+                value,
+                tag,
+                last_used: now,
+            },
+        );
+        st.enforce_capacity(self.cache.capacity, self.cache.spill.as_ref());
+        self.cache.ready.notify_all();
+    }
+}
+
+impl<V> Drop for MissGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut st = self.cache.state.lock().expect("cache lock");
+            if matches!(st.entries.get(&self.key), Some(Entry::Pending)) {
+                st.entries.remove(&self.key);
+            }
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+/// The cache proper. See the module docs for the concurrency model.
+pub struct ArtifactCache<V> {
+    state: Mutex<State<V>>,
+    ready: Condvar,
+    capacity: usize,
+    spill: Option<Spill<V>>,
+}
+
+impl<V> ArtifactCache<V> {
+    /// A cache holding at most `capacity` resident artifacts (at least
+    /// one), optionally spilling evictions to disk.
+    pub fn new(capacity: usize, spill: Option<Spill<V>>) -> Self {
+        if let Some(spill) = &spill {
+            let _ = std::fs::create_dir_all(&spill.dir);
+        }
+        ArtifactCache {
+            state: Mutex::new(State {
+                entries: HashMap::new(),
+                tick: 0,
+                counters: CacheCounters::default(),
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            spill,
+        }
+    }
+
+    /// Looks up `key`, blocking while another thread compiles it.
+    pub fn lookup(&self, key: u64) -> Lookup<'_, V> {
+        let mut st = self.state.lock().expect("cache lock");
+        loop {
+            st.tick += 1;
+            let now = st.tick;
+            match st.entries.get_mut(&key) {
+                Some(Entry::Ready {
+                    value, last_used, ..
+                }) => {
+                    *last_used = now;
+                    let value = Arc::clone(value);
+                    st.counters.hits += 1;
+                    return Lookup::Hit(value);
+                }
+                Some(Entry::Pending) => {
+                    st = self.ready.wait(st).expect("cache lock");
+                }
+                None => {
+                    // Try the spill directory before compiling.
+                    if let Some(spill) = &self.spill {
+                        let restored = std::fs::read_to_string(spill.path(key))
+                            .ok()
+                            .and_then(|text| (spill.decode)(&text));
+                        if let Some(v) = restored {
+                            let value = Arc::new(v);
+                            st.entries.insert(
+                                key,
+                                Entry::Ready {
+                                    value: Arc::clone(&value),
+                                    tag: 0,
+                                    last_used: now,
+                                },
+                            );
+                            st.counters.spill_hits += 1;
+                            st.enforce_capacity(self.capacity, self.spill.as_ref());
+                            return Lookup::Spilled(value);
+                        }
+                    }
+                    st.counters.misses += 1;
+                    st.entries.insert(key, Entry::Pending);
+                    return Lookup::Miss(MissGuard {
+                        cache: self,
+                        key,
+                        done: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drops every resident artifact whose tag is nonzero (i.e. every
+    /// artifact that depended on the accumulated profile) and returns
+    /// how many were dropped. Called after a profile update: the
+    /// dropped entries' keys embed the old profile hash and would never
+    /// be hit again.
+    pub fn invalidate_tagged(&self) -> u64 {
+        let mut st = self.state.lock().expect("cache lock");
+        let stale: Vec<u64> = st
+            .entries
+            .iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Ready { tag, .. } if *tag != 0 => Some(*k),
+                _ => None,
+            })
+            .collect();
+        let n = stale.len() as u64;
+        for k in stale {
+            st.entries.remove(&k);
+        }
+        st.counters.invalidations += n;
+        n
+    }
+
+    /// A counters snapshot (entry/pending gauges computed live).
+    pub fn counters(&self) -> CacheCounters {
+        let st = self.state.lock().expect("cache lock");
+        CacheCounters {
+            entries: st.ready_count() as u64,
+            pending: st.pending_count() as u64,
+            ..st.counters
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    fn cache(capacity: usize) -> ArtifactCache<String> {
+        ArtifactCache::new(capacity, None)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let c = cache(4);
+        match c.lookup(1) {
+            Lookup::Miss(g) => g.fulfill(Arc::new("one".into()), 0),
+            _ => panic!("expected miss"),
+        }
+        match c.lookup(1) {
+            Lookup::Hit(v) => assert_eq!(*v, "one"),
+            _ => panic!("expected hit"),
+        }
+        let k = c.counters();
+        assert_eq!((k.hits, k.misses, k.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn abandoned_miss_hands_over() {
+        let c = cache(4);
+        match c.lookup(1) {
+            Lookup::Miss(g) => drop(g),
+            _ => panic!("expected miss"),
+        }
+        // The next lookup gets a fresh miss, not a hang.
+        assert!(matches!(c.lookup(1), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = cache(2);
+        for key in [1u64, 2, 3] {
+            match c.lookup(key) {
+                Lookup::Miss(g) => g.fulfill(Arc::new(key.to_string()), 0),
+                _ => panic!("expected miss"),
+            }
+            if key == 2 {
+                // Touch 1 so 2 becomes the LRU victim.
+                assert!(matches!(c.lookup(1), Lookup::Hit(_)));
+            }
+        }
+        assert!(matches!(c.lookup(1), Lookup::Hit(_)));
+        assert!(matches!(c.lookup(3), Lookup::Hit(_)));
+        assert!(matches!(c.lookup(2), Lookup::Miss(_)));
+        assert_eq!(c.counters().evictions, 1);
+    }
+
+    #[test]
+    fn single_flight_compiles_once() {
+        let c = Arc::new(cache(4));
+        let compiles = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let compiles = Arc::clone(&compiles);
+                thread::spawn(move || match c.lookup(42) {
+                    Lookup::Hit(v) => (*v).clone(),
+                    Lookup::Spilled(v) => (*v).clone(),
+                    Lookup::Miss(g) => {
+                        compiles.fetch_add(1, Ordering::SeqCst);
+                        // Simulate a slow compile while others wait.
+                        thread::sleep(std::time::Duration::from_millis(30));
+                        g.fulfill(Arc::new("artifact".into()), 0);
+                        "artifact".into()
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), "artifact");
+        }
+        assert_eq!(compiles.load(Ordering::SeqCst), 1);
+        let k = c.counters();
+        assert_eq!(k.misses, 1);
+        assert_eq!(k.hits, 7);
+    }
+
+    #[test]
+    fn invalidate_tagged_drops_only_tagged() {
+        let c = cache(8);
+        for (key, tag) in [(1u64, 0u64), (2, 5), (3, 5), (4, 0)] {
+            match c.lookup(key) {
+                Lookup::Miss(g) => g.fulfill(Arc::new(String::new()), tag),
+                _ => panic!("expected miss"),
+            }
+        }
+        assert_eq!(c.invalidate_tagged(), 2);
+        assert!(matches!(c.lookup(1), Lookup::Hit(_)));
+        assert!(matches!(c.lookup(2), Lookup::Miss(_)));
+        assert_eq!(c.counters().invalidations, 2);
+    }
+
+    #[test]
+    fn evictions_spill_and_restore() {
+        let dir = std::env::temp_dir().join(format!("earth-serve-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c: ArtifactCache<String> = ArtifactCache::new(
+            1,
+            Some(Spill {
+                dir: dir.clone(),
+                encode: |v| Some(v.clone()),
+                decode: |s| Some(s.to_string()),
+            }),
+        );
+        match c.lookup(1) {
+            Lookup::Miss(g) => g.fulfill(Arc::new("alpha".into()), 0),
+            _ => panic!("expected miss"),
+        }
+        // Inserting key 2 evicts key 1 to disk.
+        match c.lookup(2) {
+            Lookup::Miss(g) => g.fulfill(Arc::new("beta".into()), 0),
+            _ => panic!("expected miss"),
+        }
+        match c.lookup(1) {
+            Lookup::Spilled(v) => assert_eq!(*v, "alpha"),
+            _ => panic!("expected spill restore"),
+        }
+        let k = c.counters();
+        assert_eq!(k.spill_writes, 2); // key 1, then key 2 evicted by the restore
+        assert_eq!(k.spill_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

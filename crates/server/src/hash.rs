@@ -1,0 +1,108 @@
+//! Stable content hashing for artifact-cache keys.
+//!
+//! Cache keys must be identical across daemon restarts and across
+//! machines (a key names *content*, not an allocation), so this is a
+//! fixed, dependency-free FNV-1a implementation rather than
+//! `std::hash`'s randomized `DefaultHasher`.
+
+/// 64-bit FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher over length-delimited fields.
+///
+/// [`Fnv1a::field`] hashes the field's length before its bytes, so
+/// adjacent fields cannot alias (`"ab" + "c"` ≠ `"a" + "bc"`).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(OFFSET)
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Folds one length-delimited field into the state.
+    pub fn field(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes)
+    }
+
+    /// Folds a string field (length-delimited).
+    pub fn str_field(&mut self, s: &str) -> &mut Self {
+        self.field(s.as_bytes())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Renders a key as the fixed-width hex form used on the wire and in
+/// spill file names.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Parses a [`key_hex`]-formatted key.
+pub fn parse_key_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fields_do_not_alias() {
+        let mut a = Fnv1a::new();
+        a.str_field("ab").str_field("c");
+        let mut b = Fnv1a::new();
+        b.str_field("a").str_field("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_key_hex(&key_hex(key)), Some(key));
+        }
+        assert_eq!(parse_key_hex("xyz"), None);
+        assert_eq!(parse_key_hex("00"), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! A bounded worker pool on `std::thread` with backpressure.
+//!
+//! Jobs beyond the queue bound are rejected immediately (the server
+//! turns that into a `retry_after_ms` error) rather than queued without
+//! limit — a daemon that accepts unbounded work converts overload into
+//! latency for everyone. Shutdown is graceful: queued jobs drain before
+//! the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry after backing off.
+    Full,
+    /// The pool is shutting down.
+    ShuttingDown,
+}
+
+struct Shared {
+    queue: Mutex<PoolState>,
+    /// Signals workers that a job arrived or shutdown began.
+    work: Condvar,
+}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+    rejected: u64,
+}
+
+/// The pool. Dropping it without [`WorkerPool::shutdown`] also drains
+/// and joins.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+    capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) sharing a queue bounded
+    /// at `queue_capacity` (at least one).
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+                rejected: 0,
+            }),
+            work: Condvar::new(),
+        });
+        let worker_count = workers.max(1);
+        let workers: Vec<_> = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("earthd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(workers),
+            worker_count,
+            capacity: queue_capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, or rejects it when the queue is full.
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut st = self.shared.queue.lock().expect("pool lock");
+        if st.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.jobs.len() >= self.capacity {
+            st.rejected += 1;
+            return Err(SubmitError::Full);
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Jobs queued but not yet picked up.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("pool lock").jobs.len()
+    }
+
+    /// The queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Submissions rejected because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.shared.queue.lock().expect("pool lock").rejected
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Drains the queue, stops the workers, and joins them. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.queue.lock().expect("pool lock");
+            st.shutting_down = true;
+        }
+        self.shared.work.notify_all();
+        let handles: Vec<_> = self.workers.lock().expect("pool lock").drain(..).collect();
+        for w in handles {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.queue.lock().expect("pool lock");
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break job;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = shared.work.wait(st).expect("pool lock");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(3, 16);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        drop(pool); // drains before joining
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let pool = WorkerPool::new(1, 2);
+        // Block the single worker so the queue can fill.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx.recv().unwrap();
+        // Worker is busy; two jobs fill the queue, the third is rejected.
+        pool.submit(Box::new(|| {})).unwrap();
+        pool.submit(Box::new(|| {})).unwrap();
+        assert_eq!(pool.submit(Box::new(|| {})), Err(SubmitError::Full));
+        assert_eq!(pool.rejected(), 1);
+        assert_eq!(pool.queue_depth(), 2);
+        release_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queue() {
+        let pool = WorkerPool::new(2, 64);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+        assert_eq!(pool.submit(Box::new(|| {})), Err(SubmitError::ShuttingDown));
+    }
+}

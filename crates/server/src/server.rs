@@ -1,0 +1,442 @@
+//! The `earthd` TCP server: thread-per-connection reads of
+//! newline-delimited JSON requests, dispatched onto the bounded worker
+//! pool, answered through the artifact cache.
+//!
+//! Request lifecycle:
+//!
+//! 1. A connection thread parses one request line.
+//! 2. `stats`/`ping`/`shutdown` are answered inline (they must work
+//!    even when the pool is saturated — that is when you need `stats`
+//!    most).
+//! 3. `compile`/`run`/`pgo`/`lint` are submitted to the pool. A full
+//!    queue rejects immediately with `retry_after_ms`; an expired
+//!    deadline is detected when the job is dequeued, before any work.
+//! 4. The worker resolves the request through the artifact cache
+//!    (single-flight: concurrent requests for one key compile once)
+//!    and hands the response back to the connection thread, which is
+//!    the only writer on its socket.
+
+use crate::cache::{ArtifactCache, Lookup, Spill};
+use crate::hash::key_hex;
+use crate::pool::{SubmitError, WorkerPool};
+use crate::proto::{Request, RequestKind, Response};
+use crate::stats::{Histogram, ServerStats};
+use crate::{Artifact, Backend};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Backpressure hint sent with queue-full rejections.
+const RETRY_AFTER_MS: u64 = 50;
+
+/// Poll interval for the shutdown flag on otherwise-blocking reads.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing compile/run/pgo/lint jobs.
+    pub workers: usize,
+    /// Queue bound; submissions beyond it are rejected with
+    /// `retry_after_ms`.
+    pub queue_capacity: usize,
+    /// Resident-artifact bound for the LRU cache.
+    pub cache_capacity: usize,
+    /// Directory for evicted artifacts (`None` = evictions are final).
+    pub spill_dir: Option<PathBuf>,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            spill_dir: None,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Metrics {
+    requests: Mutex<BTreeMap<String, u64>>,
+    errors: AtomicU64,
+    deadline_misses: AtomicU64,
+    analyses: AtomicU64,
+    pass_walls: Mutex<BTreeMap<String, Histogram>>,
+}
+
+struct Inner<B: Backend> {
+    backend: B,
+    cache: ArtifactCache<Artifact<B::Exec>>,
+    pool: WorkerPool,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    started: Instant,
+    addr: SocketAddr,
+    default_deadline_ms: Option<u64>,
+}
+
+impl<B: Backend> Inner<B> {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            toolchain: self.backend.toolchain(),
+            workers: self.pool.workers() as u64,
+            queue_depth: self.pool.queue_depth() as u64,
+            queue_capacity: self.pool.capacity() as u64,
+            rejected: self.pool.rejected(),
+            deadline_misses: self.metrics.deadline_misses.load(Ordering::Relaxed),
+            errors: self.metrics.errors.load(Ordering::Relaxed),
+            analyses: self.metrics.analyses.load(Ordering::Relaxed),
+            requests: self
+                .metrics
+                .requests
+                .lock()
+                .expect("metrics lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            cache: self.cache.counters(),
+            pass_walls: self
+                .metrics
+                .pass_walls
+                .lock()
+                .expect("metrics lock")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Fetches (or cold-compiles, single-flight) the artifact for one
+    /// `(source, opts)` pair. `cached` is true when no compile ran.
+    #[allow(clippy::type_complexity)]
+    fn acquire(
+        &self,
+        source: &str,
+        opts: &crate::proto::CompileOptions,
+    ) -> Result<(Arc<Artifact<B::Exec>>, u64, bool), String> {
+        let key = self.backend.cache_key(source, opts);
+        match self.cache.lookup(key) {
+            Lookup::Hit(a) | Lookup::Spilled(a) => Ok((a, key, true)),
+            Lookup::Miss(guard) => {
+                let out = self.backend.compile(source, opts)?; // guard drop = abandon
+                self.metrics
+                    .analyses
+                    .fetch_add(out.analyses, Ordering::Relaxed);
+                {
+                    let mut walls = self.metrics.pass_walls.lock().expect("metrics lock");
+                    for (pass, ns) in &out.timings {
+                        walls.entry(pass.clone()).or_default().record(*ns);
+                    }
+                }
+                let artifact = Arc::new(out.artifact);
+                guard.fulfill(Arc::clone(&artifact), self.backend.cache_tag(opts));
+                Ok((artifact, key, false))
+            }
+        }
+    }
+
+    /// Executes one pooled request kind to completion.
+    fn execute(&self, id: u64, kind: RequestKind) -> Response {
+        let result = match kind {
+            RequestKind::Compile { source, opts } => {
+                self.acquire(&source, &opts)
+                    .map(|(artifact, key, cached)| Response::Compile {
+                        id,
+                        key: key_hex(key),
+                        cached,
+                        ir: artifact.ir.clone(),
+                        report: artifact.report.clone(),
+                    })
+            }
+            RequestKind::Run {
+                source,
+                opts,
+                entry,
+                nodes,
+                args,
+            } => self
+                .acquire(&source, &opts)
+                .and_then(|(artifact, key, cached)| {
+                    let run = self.backend.run(&artifact, &entry, nodes, &args)?;
+                    Ok(Response::Run {
+                        id,
+                        key: key_hex(key),
+                        cached,
+                        ret: run.ret,
+                        time_ns: run.time_ns,
+                        stats: run.stats,
+                        output: run.output,
+                    })
+                }),
+            RequestKind::Pgo {
+                source,
+                entry,
+                nodes,
+                args,
+            } => self
+                .backend
+                .pgo(&source, &entry, nodes, &args)
+                .map(|out| Response::Pgo {
+                    id,
+                    sites: out.sites,
+                    merged_sites: out.merged_sites,
+                    invalidated: self.cache.invalidate_tagged(),
+                    ret: out.ret,
+                }),
+            RequestKind::Lint { source } => self.backend.lint(&source).map(|out| Response::Lint {
+                id,
+                independent: out.independent,
+                diagnostics: out.diagnostics,
+            }),
+            RequestKind::Stats | RequestKind::Ping | RequestKind::Shutdown => {
+                unreachable!("handled inline")
+            }
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(error) => self.error(id, error, None),
+        }
+    }
+
+    fn error(&self, id: u64, error: impl Into<String>, retry_after_ms: Option<u64>) -> Response {
+        self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        Response::Error {
+            id,
+            error: error.into(),
+            retry_after_ms,
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A handle for observing and stopping a server from another thread.
+pub struct ServerHandle<B: Backend> {
+    inner: Arc<Inner<B>>,
+}
+
+impl<B: Backend> ServerHandle<B> {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Requests a graceful shutdown (equivalent to a `shutdown`
+    /// request on the wire).
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+}
+
+/// The daemon. [`Server::bind`], then [`Server::run`] on a dedicated
+/// thread (it blocks until shutdown).
+pub struct Server<B: Backend> {
+    listener: TcpListener,
+    inner: Arc<Inner<B>>,
+}
+
+impl<B: Backend> Server<B> {
+    /// Binds the daemon and spawns its worker pool. Use port 0 to let
+    /// the OS pick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        backend: B,
+    ) -> std::io::Result<Server<B>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let spill = config.spill_dir.map(|dir| Spill {
+            dir,
+            encode: |a: &Artifact<B::Exec>| Some(a.to_spill_json()),
+            decode: |text| Artifact::from_spill_json(text),
+        });
+        let inner = Arc::new(Inner {
+            backend,
+            cache: ArtifactCache::new(config.cache_capacity, spill),
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            addr,
+            default_deadline_ms: config.default_deadline_ms,
+        });
+        Ok(Server { listener, inner })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// A handle usable from other threads while [`Server::run`] blocks.
+    pub fn handle(&self) -> ServerHandle<B> {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`])
+    /// arrives, then drains the worker pool and joins every connection.
+    pub fn run(self) {
+        let mut connections = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let inner = Arc::clone(&self.inner);
+            if let Ok(conn) = std::thread::Builder::new()
+                .name("earthd-conn".into())
+                .spawn(move || serve_connection(stream, &inner))
+            {
+                connections.push(conn);
+            }
+            // Reap finished connection threads so long-lived daemons
+            // don't accumulate handles.
+            connections.retain(|c| !c.is_finished());
+        }
+        self.inner.pool.shutdown();
+        for conn in connections {
+            let _ = conn.join();
+        }
+    }
+}
+
+fn serve_connection<B: Backend>(stream: TcpStream, inner: &Arc<Inner<B>>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                if !line.trim().is_empty() {
+                    // Final request without a trailing newline.
+                    if !handle_line(inner, line.trim_end(), &mut writer) {
+                        return;
+                    }
+                }
+                return;
+            }
+            Ok(_) => {
+                let keep_going = {
+                    let trimmed = line.trim_end();
+                    trimmed.is_empty() || handle_line(inner, trimmed, &mut writer)
+                };
+                line.clear();
+                if !keep_going {
+                    return;
+                }
+            }
+            // Timeout while polling for the shutdown flag; any bytes
+            // already read stay accumulated in `line`.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line; returns false when the connection should
+/// close (write failure or shutdown).
+fn handle_line<B: Backend>(inner: &Arc<Inner<B>>, line: &str, writer: &mut TcpStream) -> bool {
+    let req = match Request::from_json(line) {
+        Ok(req) => req,
+        Err(e) => {
+            let resp = inner.error(0, format!("bad request: {e}"), None);
+            return write_response(writer, &resp);
+        }
+    };
+    {
+        let mut requests = inner.metrics.requests.lock().expect("metrics lock");
+        *requests.entry(req.kind.endpoint().to_string()).or_insert(0) += 1;
+    }
+    let id = req.id;
+    match req.kind {
+        RequestKind::Ping => write_response(writer, &Response::Ok { id }),
+        RequestKind::Stats => write_response(
+            writer,
+            &Response::Stats {
+                id,
+                stats: inner.stats(),
+            },
+        ),
+        RequestKind::Shutdown => {
+            let _ = write_response(writer, &Response::Ok { id });
+            inner.begin_shutdown();
+            false
+        }
+        kind => {
+            let deadline = req
+                .deadline_ms
+                .or(inner.default_deadline_ms)
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let (tx, rx) = mpsc::channel::<Response>();
+            let job_inner = Arc::clone(inner);
+            let submitted = inner.pool.submit(Box::new(move || {
+                let resp = match deadline {
+                    Some(d) if Instant::now() > d => {
+                        job_inner
+                            .metrics
+                            .deadline_misses
+                            .fetch_add(1, Ordering::Relaxed);
+                        job_inner.error(id, "deadline exceeded while queued", None)
+                    }
+                    _ => job_inner.execute(id, kind),
+                };
+                let _ = tx.send(resp);
+            }));
+            let resp = match submitted {
+                Ok(()) => rx.recv().unwrap_or_else(|_| {
+                    inner.error(id, "internal error: worker dropped the request", None)
+                }),
+                Err(SubmitError::Full) => inner.error(
+                    id,
+                    format!("queue full ({} jobs)", inner.pool.capacity()),
+                    Some(RETRY_AFTER_MS),
+                ),
+                Err(SubmitError::ShuttingDown) => inner.error(id, "daemon is shutting down", None),
+            };
+            write_response(writer, &resp)
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, resp: &Response) -> bool {
+    let mut line = resp.to_json();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).is_ok() && writer.flush().is_ok()
+}

@@ -1,0 +1,355 @@
+//! The daemon's observability surface: per-endpoint request counters,
+//! cache counters, queue state, and per-pass wall-time histograms
+//! aggregated from every cold compile's pipeline report.
+
+use earth_ir::json::{self, Obj, ObjectExt as _, Value};
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets (powers of two from 1 µs up).
+pub const HIST_BUCKETS: usize = 16;
+
+/// A fixed-bucket log₂ histogram of nanosecond durations.
+///
+/// Bucket `i` counts samples in `[2^(10+i), 2^(11+i))` ns — i.e. bucket
+/// 0 is "about a microsecond", each following bucket doubles, and the
+/// last bucket absorbs everything from ~33 ms up. Sub-microsecond
+/// samples land in bucket 0.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples, in nanoseconds.
+    pub total_ns: u64,
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.buckets[Self::bucket_of(ns)] += 1;
+    }
+
+    /// The bucket index a duration falls into.
+    pub fn bucket_of(ns: u64) -> usize {
+        if ns < 1 << 10 {
+            return 0;
+        }
+        ((ns.ilog2() as usize) - 10).min(HIST_BUCKETS - 1)
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn to_json(&self) -> String {
+        let buckets: Vec<String> = self.buckets.iter().map(|b| b.to_string()).collect();
+        Obj::new()
+            .u64("count", self.count)
+            .u64("total_ns", self.total_ns)
+            .raw("buckets", &format!("[{}]", buckets.join(",")))
+            .finish()
+    }
+
+    fn from_value(v: &Value) -> Result<Histogram, json::JsonError> {
+        let obj = v.as_object("histogram")?;
+        let mut h = Histogram {
+            count: obj.get_u64("count")?,
+            total_ns: obj.get_u64("total_ns")?,
+            buckets: [0; HIST_BUCKETS],
+        };
+        let raw = obj.get_array("buckets")?;
+        if raw.len() != HIST_BUCKETS {
+            return Err(json::JsonError::shape("wrong bucket count"));
+        }
+        for (i, b) in raw.iter().enumerate() {
+            h.buckets[i] = b.as_u64("bucket")?;
+        }
+        Ok(h)
+    }
+}
+
+/// Artifact-cache counters, as exposed by the `stats` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Requests served from a resident artifact.
+    pub hits: u64,
+    /// Requests that had to compile.
+    pub misses: u64,
+    /// Ready artifacts evicted by the LRU bound.
+    pub evictions: u64,
+    /// Artifacts dropped by explicit invalidation (profile updates).
+    pub invalidations: u64,
+    /// Evicted artifacts written to the spill directory.
+    pub spill_writes: u64,
+    /// Misses restored from the spill directory instead of compiling.
+    pub spill_hits: u64,
+    /// Resident artifacts right now.
+    pub entries: u64,
+    /// Keys currently being compiled (single-flight in progress).
+    pub pending: u64,
+}
+
+impl CacheCounters {
+    /// JSON object form.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("hits", self.hits)
+            .u64("misses", self.misses)
+            .u64("evictions", self.evictions)
+            .u64("invalidations", self.invalidations)
+            .u64("spill_writes", self.spill_writes)
+            .u64("spill_hits", self.spill_hits)
+            .u64("entries", self.entries)
+            .u64("pending", self.pending)
+            .finish()
+    }
+
+    fn from_value(v: &Value) -> Result<CacheCounters, json::JsonError> {
+        let obj = v.as_object("cache")?;
+        Ok(CacheCounters {
+            hits: obj.get_u64("hits")?,
+            misses: obj.get_u64("misses")?,
+            evictions: obj.get_u64("evictions")?,
+            invalidations: obj.get_u64("invalidations")?,
+            spill_writes: obj.get_u64("spill_writes")?,
+            spill_hits: obj.get_u64("spill_hits")?,
+            entries: obj.get_u64("entries")?,
+            pending: obj.get_u64("pending")?,
+        })
+    }
+}
+
+/// A full `stats` snapshot: uptime, per-endpoint request counts, queue
+/// state, cache counters, and per-pass wall-time histograms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServerStats {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Toolchain fingerprint (also part of every cache key).
+    pub toolchain: String,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Jobs queued (not yet picked up) at snapshot time.
+    pub queue_depth: u64,
+    /// Queue bound; submissions beyond it are rejected with
+    /// `retry_after_ms`.
+    pub queue_capacity: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+    /// Requests dropped because their deadline passed while queued.
+    pub deadline_misses: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Whole-program analyses performed by cold compiles (sum of the
+    /// pass-cache miss counters over every `PipelineReport`). A cache
+    /// hit adds zero here — that is the serving layer's whole point.
+    pub analyses: u64,
+    /// Per-endpoint request counts, sorted by endpoint name.
+    pub requests: Vec<(String, u64)>,
+    /// Artifact-cache counters.
+    pub cache: CacheCounters,
+    /// Per-pass wall-time histograms, sorted by pass name.
+    pub pass_walls: Vec<(String, Histogram)>,
+}
+
+impl ServerStats {
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The count for one endpoint (0 when never called).
+    pub fn endpoint(&self, name: &str) -> u64 {
+        self.requests
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// JSON object form (the `stats` response payload).
+    pub fn to_json(&self) -> String {
+        let mut requests = String::from("{");
+        for (i, (k, v)) in self.requests.iter().enumerate() {
+            if i > 0 {
+                requests.push(',');
+            }
+            json::push_string(&mut requests, k);
+            requests.push(':');
+            requests.push_str(&v.to_string());
+        }
+        requests.push('}');
+        let mut walls = String::from("{");
+        for (i, (k, h)) in self.pass_walls.iter().enumerate() {
+            if i > 0 {
+                walls.push(',');
+            }
+            json::push_string(&mut walls, k);
+            walls.push(':');
+            walls.push_str(&h.to_json());
+        }
+        walls.push('}');
+        Obj::new()
+            .u64("uptime_ms", self.uptime_ms)
+            .str("toolchain", &self.toolchain)
+            .u64("workers", self.workers)
+            .u64("queue_depth", self.queue_depth)
+            .u64("queue_capacity", self.queue_capacity)
+            .u64("rejected", self.rejected)
+            .u64("deadline_misses", self.deadline_misses)
+            .u64("errors", self.errors)
+            .u64("analyses", self.analyses)
+            .raw("requests", &requests)
+            .raw("cache", &self.cache.to_json())
+            .raw("pass_walls", &walls)
+            .finish()
+    }
+
+    /// Parses a snapshot back from [`ServerStats::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::JsonError`] on malformed or mis-shaped input.
+    pub fn from_json(src: &str) -> Result<ServerStats, json::JsonError> {
+        Self::from_value(&json::parse(src)?)
+    }
+
+    /// Parses a snapshot from an already-parsed [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::JsonError`] on mis-shaped input.
+    pub fn from_value(v: &Value) -> Result<ServerStats, json::JsonError> {
+        let obj = v.as_object("stats")?;
+        let mut requests = BTreeMap::new();
+        for (k, v) in obj
+            .field("requests")
+            .ok_or_else(|| json::JsonError::shape("missing `requests`"))?
+            .as_object("requests")?
+        {
+            requests.insert(k.clone(), v.as_u64("request count")?);
+        }
+        let mut pass_walls = BTreeMap::new();
+        for (k, v) in obj
+            .field("pass_walls")
+            .ok_or_else(|| json::JsonError::shape("missing `pass_walls`"))?
+            .as_object("pass_walls")?
+        {
+            pass_walls.insert(k.clone(), Histogram::from_value(v)?);
+        }
+        Ok(ServerStats {
+            uptime_ms: obj.get_u64("uptime_ms")?,
+            toolchain: obj.get_str("toolchain")?,
+            workers: obj.get_u64("workers")?,
+            queue_depth: obj.get_u64("queue_depth")?,
+            queue_capacity: obj.get_u64("queue_capacity")?,
+            rejected: obj.get_u64("rejected")?,
+            deadline_misses: obj.get_u64("deadline_misses")?,
+            errors: obj.get_u64("errors")?,
+            analyses: obj.get_u64("analyses")?,
+            requests: requests.into_iter().collect(),
+            cache: CacheCounters::from_value(
+                obj.field("cache")
+                    .ok_or_else(|| json::JsonError::shape("missing `cache`"))?,
+            )?,
+            pass_walls: pass_walls.into_iter().collect(),
+        })
+    }
+
+    /// Human-readable rendering (the `earthcc client stats` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "uptime: {:.1}s | toolchain {} | workers {} | queue {}/{}\n",
+            self.uptime_ms as f64 / 1000.0,
+            self.toolchain,
+            self.workers,
+            self.queue_depth,
+            self.queue_capacity
+        ));
+        out.push_str("requests:");
+        for (k, v) in &self.requests {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push_str(&format!(
+            "\nrejected={} deadline_misses={} errors={} analyses={}\n",
+            self.rejected, self.deadline_misses, self.errors, self.analyses
+        ));
+        let c = &self.cache;
+        out.push_str(&format!(
+            "cache: hits={} misses={} evictions={} invalidations={} spill_writes={} spill_hits={} entries={} pending={}\n",
+            c.hits, c.misses, c.evictions, c.invalidations, c.spill_writes, c.spill_hits,
+            c.entries, c.pending
+        ));
+        for (name, h) in &self.pass_walls {
+            out.push_str(&format!(
+                "pass {name}: n={} mean={}ns buckets={:?}\n",
+                h.count,
+                h.mean_ns(),
+                h.buckets
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_double() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1023), 0);
+        assert_eq!(Histogram::bucket_of(1024), 0);
+        assert_eq!(Histogram::bucket_of(2048), 1);
+        assert_eq!(Histogram::bucket_of(1 << 20), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let mut h = Histogram::default();
+        h.record(500);
+        h.record(5_000_000);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.total_ns, 5_000_500);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let mut h = Histogram::default();
+        h.record(1_000);
+        h.record(2_000_000);
+        let s = ServerStats {
+            uptime_ms: 1234,
+            toolchain: "earthc/0.1.0 proto/1".into(),
+            workers: 4,
+            queue_depth: 1,
+            queue_capacity: 64,
+            rejected: 2,
+            deadline_misses: 1,
+            errors: 3,
+            analyses: 7,
+            requests: vec![("compile".into(), 10), ("stats".into(), 2)],
+            cache: CacheCounters {
+                hits: 8,
+                misses: 2,
+                evictions: 1,
+                invalidations: 1,
+                spill_writes: 1,
+                spill_hits: 1,
+                entries: 1,
+                pending: 0,
+            },
+            pass_walls: vec![("optimize".into(), h)],
+        };
+        let enc = s.to_json();
+        assert_eq!(ServerStats::from_json(&enc).unwrap(), s);
+        assert_eq!(s.total_requests(), 12);
+        assert_eq!(s.endpoint("compile"), 10);
+        assert_eq!(s.endpoint("nope"), 0);
+        assert!(s.render().contains("hits=8"));
+    }
+}

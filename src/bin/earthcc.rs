@@ -27,13 +27,15 @@
 
 use earthc::earth_commopt::{optimize_program, CommOptConfig};
 use earthc::earth_ir::{diag, pretty, Severity};
+use earthc::earth_serve::client::Client;
+use earthc::earth_serve::proto::{Arg, CompileOptions, Response};
 use earthc::{earth_lint, Pipeline, PipelineReport, Profile, ProfileDb, Value};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]... [--profile-out FILE | --profile-in FILE]\n  earthcc pgo    <file.ec> [--nodes N] [--workers N] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc verify <file.ec> [--json]"
+        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]... [--profile-out FILE | --profile-in FILE]\n  earthcc pgo    <file.ec> [--nodes N] [--workers N] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc verify <file.ec> [--json]\n  earthcc serve  [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--spill DIR] [--deadline-ms N]\n  earthcc client <compile|run|pgo|lint|stats|ping|shutdown> [file.ec] --addr HOST:PORT [--nodes N] [--entry NAME] [--arg V]... [--no-opt] [--no-locality] [--use-profile] [--deadline-ms N]"
     );
     ExitCode::from(2)
 }
@@ -66,9 +68,12 @@ struct Opts {
     report_json: bool,
     profile_in: Option<String>,
     profile_out: Option<String>,
+    addr: Option<String>,
+    use_profile: bool,
+    deadline_ms: Option<u64>,
 }
 
-fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+fn parse_opts(rest: &[String], needs_file: bool) -> Result<Opts, String> {
     let mut o = Opts {
         file: String::new(),
         nodes: 1,
@@ -86,6 +91,9 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
         report_json: false,
         profile_in: None,
         profile_out: None,
+        addr: None,
+        use_profile: false,
+        deadline_ms: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -119,6 +127,16 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             "--profile-out" => {
                 o.profile_out = Some(it.next().ok_or("--profile-out needs a file")?.clone());
             }
+            "--addr" => o.addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
+            "--use-profile" => o.use_profile = true,
+            "--deadline-ms" => {
+                o.deadline_ms = Some(
+                    it.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs an integer")?,
+                );
+            }
             "--entry" => o.entry = it.next().ok_or("--entry needs a value")?.clone(),
             "--func" => o.func = Some(it.next().ok_or("--func needs a value")?.clone()),
             "--arg" => {
@@ -134,7 +152,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    if o.file.is_empty() {
+    if needs_file && o.file.is_empty() {
         return Err("no input file".into());
     }
     if o.profile_in.is_some() && o.profile_out.is_some() {
@@ -143,24 +161,166 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
     Ok(o)
 }
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = argv.split_first() else {
+/// Reads one source file, or reports the single-line diagnostic the
+/// CLI contract requires for unreadable paths.
+fn read_source(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read `{path}`: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn client_cmd(rest: &[String]) -> ExitCode {
+    let Some((sub, rest)) = rest.split_first() else {
         return usage();
     };
-    let opts = match parse_opts(rest) {
+    let needs_file = matches!(sub.as_str(), "compile" | "run" | "pgo" | "lint");
+    let opts = match parse_opts(rest, needs_file) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return usage();
         }
     };
-    let src = match std::fs::read_to_string(&opts.file) {
-        Ok(s) => s,
+    let Some(addr) = opts.addr.clone() else {
+        eprintln!("error: client needs --addr HOST:PORT");
+        return ExitCode::FAILURE;
+    };
+    let source = if needs_file {
+        match read_source(&opts.file) {
+            Ok(s) => s,
+            Err(code) => return code,
+        }
+    } else {
+        String::new()
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("error: cannot read `{}`: {e}", opts.file);
+            eprintln!("error: cannot connect to `{addr}`: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    client.deadline_ms = opts.deadline_ms;
+    let copts = CompileOptions {
+        optimize: opts.optimize,
+        locality: opts.locality,
+        use_profile: opts.use_profile,
+    };
+    let args: Vec<Arg> = opts
+        .args
+        .iter()
+        .map(|v| match v {
+            Value::Int(n) => Arg::Int(*n),
+            Value::Double(x) => Arg::Double(*x),
+            other => Arg::Int(format!("{other}").parse().unwrap_or(0)),
+        })
+        .collect();
+    let outcome = match sub.as_str() {
+        "compile" => client.compile(&source, copts).map(|resp| {
+            if let Response::Compile {
+                key, cached, ir, ..
+            } = resp
+            {
+                println!("key:    {key}");
+                println!("cached: {cached}");
+                print!("{ir}");
+            }
+        }),
+        "run" => client
+            .run(&source, copts, &opts.entry, opts.nodes, args)
+            .map(|resp| {
+                if let Response::Run {
+                    key,
+                    cached,
+                    ret,
+                    time_ns,
+                    stats,
+                    output,
+                    ..
+                } = resp
+                {
+                    println!("result: {ret}");
+                    println!("time:   {time_ns} ns");
+                    println!("stats:  {stats}");
+                    for line in &output {
+                        println!("output: {line}");
+                    }
+                    println!("cached: {cached} key: {key}");
+                }
+            }),
+        "pgo" => client
+            .pgo(&source, &opts.entry, opts.nodes, args)
+            .map(|resp| {
+                if let Response::Pgo {
+                    sites,
+                    merged_sites,
+                    invalidated,
+                    ret,
+                    ..
+                } = resp
+                {
+                    println!("result: {ret}");
+                    println!(
+                        "pgo: sites={sites} merged_sites={merged_sites} invalidated={invalidated}"
+                    );
+                }
+            }),
+        "lint" => client.lint(&source).map(|resp| {
+            if let Response::Lint {
+                independent,
+                diagnostics,
+                ..
+            } = resp
+            {
+                println!("independent: {independent}");
+                println!("{diagnostics}");
+            }
+        }),
+        "stats" => client.stats().map(|stats| print!("{}", stats.render())),
+        "ping" => client.ping().map(|()| println!("pong")),
+        "shutdown" => client
+            .shutdown()
+            .map(|()| println!("shutdown acknowledged")),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "serve" => {
+            return match earthc::serve::run_daemon(rest) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "client" => return client_cmd(rest),
+        _ => {}
+    }
+    let opts = match parse_opts(rest, true) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let src = match read_source(&opts.file) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
     match cmd.as_str() {
         "run" => {

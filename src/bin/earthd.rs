@@ -1,0 +1,30 @@
+//! `earthd` — the EARTH-C compile-and-run daemon.
+//!
+//! ```text
+//! earthd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!        [--spill DIR] [--deadline-ms N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0`, i.e. an OS-assigned port), prints
+//! `earthd listening on ADDR`, and serves newline-delimited JSON
+//! requests — `compile`, `run`, `pgo`, `lint`, `stats`, `ping`,
+//! `shutdown` — until a `shutdown` request arrives. Identical compile
+//! requests are answered from a content-addressed artifact cache
+//! without re-running any analysis; see `earth_serve` for the protocol
+//! and `earthc::serve` for the cache-key discipline.
+//!
+//! Talk to it with `earthcc client <cmd> --addr ADDR` or any
+//! line-oriented TCP tool.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match earthc::serve::run_daemon(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

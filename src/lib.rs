@@ -50,7 +50,10 @@ pub use earth_lint;
 pub use earth_olden;
 pub use earth_pass;
 pub use earth_profile;
+pub use earth_serve;
 pub use earth_sim;
+
+pub mod serve;
 
 pub use earth_analysis::{AnalysisCache, CacheStats};
 pub use earth_commopt::{CommOptConfig, OptReport};

@@ -1,0 +1,291 @@
+//! The `earthd` backend: [`earth_serve::Backend`] implemented over the
+//! [`Pipeline`], plus the daemon bootstrap shared by the `earthd`
+//! binary and `earthcc serve`.
+//!
+//! This is the glue that gives the serving layer its cache-key
+//! discipline. A key is the FNV-1a hash of every input that determines
+//! the optimized artifact:
+//!
+//! - the exact source text,
+//! - the compile options (optimizer on/off, locality on/off,
+//!   profile-guided or not) and the optimizer configuration,
+//! - the canonical JSON of the accumulated PGO profile (only when the
+//!   request opts into `use_profile` — a profile-independent build must
+//!   not churn its key when profiles merge),
+//! - the toolchain fingerprint (crate version + protocol version), so a
+//!   daemon restarted on a newer toolchain never trusts old spill
+//!   files.
+//!
+//! A cache hit therefore *is* a proof that re-running the pipeline
+//! would reproduce the artifact byte for byte, which is what lets the
+//! daemon skip parsing, analysis, placement, and selection entirely.
+
+use crate::{CommOptConfig, Pipeline, Profile, ProfileDb, Value};
+use earth_serve::hash::Fnv1a;
+use earth_serve::proto::{Arg, CompileOptions, PROTOCOL_VERSION};
+use earth_serve::server::{Server, ServerConfig};
+use earth_serve::{Artifact, Backend, CompileOutput, LintOutput, PgoOutput, RunOutput};
+use std::sync::{Arc, Mutex};
+
+/// The daemon's accumulated profile state: every `pgo` request merges
+/// into one profile (profiles are commutative merges of site counters),
+/// and the epoch counts merges for cache-invalidation tags.
+struct ProfileState {
+    profile: Option<Profile>,
+    epoch: u64,
+}
+
+/// [`Backend`] over the full `earthc` [`Pipeline`].
+///
+/// Stateless except for the accumulated PGO profile; all compile state
+/// lives in the serving layer's artifact cache.
+pub struct PipelineBackend {
+    state: Mutex<ProfileState>,
+}
+
+impl Default for PipelineBackend {
+    fn default() -> Self {
+        PipelineBackend::new()
+    }
+}
+
+impl PipelineBackend {
+    /// A backend with no accumulated profile.
+    pub fn new() -> Self {
+        PipelineBackend {
+            state: Mutex::new(ProfileState {
+                profile: None,
+                epoch: 0,
+            }),
+        }
+    }
+
+    /// The pipeline a request's options describe. `entry`/`nodes` are
+    /// per-run settings, not compile settings, so they are not here —
+    /// and correspondingly not part of the cache key.
+    fn pipeline(&self, opts: &CompileOptions) -> Pipeline {
+        let mut p = Pipeline::new()
+            .optimizer(opts.optimize.then(CommOptConfig::default))
+            .locality(opts.locality);
+        if opts.use_profile {
+            let st = self.state.lock().expect("profile lock");
+            if let Some(profile) = &st.profile {
+                p = p.profile(Some(Arc::new(ProfileDb::new(profile.clone()))));
+            }
+        }
+        p
+    }
+}
+
+fn to_values(args: &[Arg]) -> Vec<Value> {
+    args.iter()
+        .map(|a| match a {
+            Arg::Int(n) => Value::Int(*n),
+            Arg::Double(x) => Value::Double(*x),
+        })
+        .collect()
+}
+
+impl Backend for PipelineBackend {
+    type Exec = earth_sim::CompiledProgram;
+
+    fn toolchain(&self) -> String {
+        format!(
+            "earthc/{} proto/{PROTOCOL_VERSION}",
+            env!("CARGO_PKG_VERSION")
+        )
+    }
+
+    fn cache_key(&self, source: &str, opts: &CompileOptions) -> u64 {
+        let mut h = Fnv1a::new();
+        h.str_field(&self.toolchain());
+        h.str_field(source);
+        h.field(&[
+            opts.optimize as u8,
+            opts.locality as u8,
+            opts.use_profile as u8,
+        ]);
+        if opts.optimize {
+            // The daemon always compiles with the default optimizer
+            // configuration; fingerprint it anyway so a future knob
+            // can't silently alias keys.
+            h.str_field(&format!("{:?}", CommOptConfig::default()));
+        }
+        if opts.use_profile {
+            let st = self.state.lock().expect("profile lock");
+            if let Some(profile) = &st.profile {
+                h.str_field(&profile.canonical().to_json());
+            }
+        }
+        h.finish()
+    }
+
+    fn cache_tag(&self, opts: &CompileOptions) -> u64 {
+        if !opts.use_profile {
+            return 0;
+        }
+        let st = self.state.lock().expect("profile lock");
+        if st.profile.is_some() {
+            st.epoch
+        } else {
+            // No profile yet: the build is profile-independent.
+            0
+        }
+    }
+
+    fn compile(
+        &self,
+        source: &str,
+        opts: &CompileOptions,
+    ) -> Result<CompileOutput<earth_sim::CompiledProgram>, String> {
+        let pipeline = self.pipeline(opts);
+        let mut prog = earth_frontend::compile(source).map_err(|e| format!("frontend: {e}"))?;
+        let report = pipeline
+            .apply_passes(&mut prog)
+            .map_err(|e| e.to_string())?;
+        let ir = earth_ir::pretty::print_program(&prog);
+        let exec = earth_sim::compile(&prog, earth_sim::CodegenOptions::default())
+            .map_err(|e| format!("codegen: {e}"))?;
+        let timings = report
+            .passes
+            .iter()
+            .map(|p| (p.name.to_string(), p.wall.as_nanos() as u64))
+            .collect();
+        let analyses = report.cache.misses;
+        Ok(CompileOutput {
+            artifact: Artifact {
+                source: source.to_string(),
+                opts: opts.clone(),
+                ir,
+                report: report.to_json(),
+                exec: Some(exec),
+            },
+            timings,
+            analyses,
+        })
+    }
+
+    fn run(
+        &self,
+        artifact: &Artifact<earth_sim::CompiledProgram>,
+        entry: &str,
+        nodes: u16,
+        args: &[Arg],
+    ) -> Result<RunOutput, String> {
+        // A spill-restored artifact lost its bytecode; rebuild it from
+        // the stored source (same key inputs, so same result).
+        let rebuilt;
+        let exec = match &artifact.exec {
+            Some(exec) => exec,
+            None => {
+                rebuilt = self.compile(&artifact.source, &artifact.opts)?;
+                rebuilt.artifact.exec.as_ref().expect("compile sets exec")
+            }
+        };
+        let entry_fn = exec
+            .function_by_name(entry)
+            .ok_or_else(|| format!("no function named `{entry}`"))?;
+        let mc = earth_sim::MachineConfig {
+            n_nodes: nodes,
+            ..Default::default()
+        };
+        let mut machine = earth_sim::Machine::new(mc);
+        let result = machine
+            .run(exec, entry_fn, &to_values(args))
+            .map_err(|e| format!("simulation: {e}"))?;
+        Ok(RunOutput {
+            ret: result.ret.to_string(),
+            time_ns: result.time_ns,
+            stats: result.stats.to_string(),
+            output: result.output.clone(),
+        })
+    }
+
+    fn pgo(
+        &self,
+        source: &str,
+        entry: &str,
+        nodes: u16,
+        args: &[Arg],
+    ) -> Result<PgoOutput, String> {
+        let pipeline = Pipeline::new().nodes(nodes).entry(entry);
+        let (result, measured) = pipeline
+            .instrument_source(source, &to_values(args))
+            .map_err(|e| format!("instrumented run: {e}"))?;
+        let sites = measured.len() as u64;
+        let mut st = self.state.lock().expect("profile lock");
+        match &mut st.profile {
+            Some(acc) => acc.merge(&measured),
+            None => st.profile = Some(measured),
+        }
+        st.epoch += 1;
+        let merged_sites = st.profile.as_ref().map(Profile::len).unwrap_or(0) as u64;
+        Ok(PgoOutput {
+            sites,
+            merged_sites,
+            ret: result.ret.to_string(),
+        })
+    }
+
+    fn lint(&self, source: &str) -> Result<LintOutput, String> {
+        let prog = earth_frontend::compile(source).map_err(|e| format!("frontend: {e}"))?;
+        let report = earth_lint::lint_program(&prog);
+        Ok(LintOutput {
+            independent: report.all_independent(),
+            diagnostics: earth_ir::diag::to_json_array(&report.diagnostics),
+        })
+    }
+}
+
+/// Parses daemon flags shared by `earthd` and `earthcc serve`:
+/// `[--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+/// [--spill DIR] [--deadline-ms N]`.
+///
+/// # Errors
+///
+/// A single-line description of the offending flag.
+pub fn parse_daemon_args(rest: &[String]) -> Result<(String, ServerConfig), String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServerConfig::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or(format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{flag} needs an integer"))
+        };
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--workers" => config.workers = num("--workers")?,
+            "--queue" => config.queue_capacity = num("--queue")?,
+            "--cache" => config.cache_capacity = num("--cache")?,
+            "--deadline-ms" => config.default_deadline_ms = Some(num("--deadline-ms")? as u64),
+            "--spill" => {
+                config.spill_dir = Some(it.next().ok_or("--spill needs a directory")?.into());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok((addr, config))
+}
+
+/// Binds and runs the daemon until a `shutdown` request arrives. Prints
+/// `earthd listening on ADDR` once bound (the CI smoke job and scripts
+/// scrape the port from that line).
+///
+/// # Errors
+///
+/// A single-line description of the bind failure or bad flag.
+pub fn run_daemon(rest: &[String]) -> Result<(), String> {
+    let (addr, config) = parse_daemon_args(rest)?;
+    let server = Server::bind(&addr, config, PipelineBackend::new())
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    println!("earthd listening on {}", server.local_addr());
+    // The line above is a machine interface; make sure it is visible
+    // before the (potentially long-lived) blocking run.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    Ok(())
+}

@@ -1,0 +1,233 @@
+//! Concurrency and caching guarantees of the real daemon: `earthd`
+//! serving the actual `earthc` pipeline over TCP.
+//!
+//! The two load-bearing acceptance properties live here:
+//!
+//! - a repeated identical compile is served from the cache with **zero**
+//!   additional whole-program analyses, and
+//! - N concurrent clients racing the same and different sources all
+//!   receive artifacts byte-identical to a single-threaded compile,
+//!   with a popular key compiled exactly once (no cache stampede).
+
+use earthc::earth_serve::client::Client;
+use earthc::earth_serve::proto::{Arg, CompileOptions, Response};
+use earthc::earth_serve::server::{Server, ServerConfig, ServerHandle};
+use earthc::earth_serve::Backend;
+use earthc::serve::PipelineBackend;
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+fn start(config: ServerConfig) -> (SocketAddr, ServerHandle<PipelineBackend>, JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config, PipelineBackend::new()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn sources() -> Vec<(String, String)> {
+    ["count.ec", "distance.ec", "treesum.ec"]
+        .iter()
+        .map(|name| {
+            let text =
+                std::fs::read_to_string(format!("programs/{name}")).expect("programs/*.ec present");
+            (name.to_string(), text)
+        })
+        .collect()
+}
+
+/// The single-threaded reference: compile directly through the backend,
+/// no daemon, no cache.
+fn reference_ir(source: &str) -> String {
+    PipelineBackend::new()
+        .compile(source, &CompileOptions::default())
+        .expect("reference compile")
+        .artifact
+        .ir
+}
+
+fn compile_ir(client: &mut Client, source: &str) -> (String, bool) {
+    match client.compile(source, CompileOptions::default()).unwrap() {
+        Response::Compile { ir, cached, .. } => (ir, cached),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn repeated_compile_hits_cache_with_zero_new_analyses() {
+    let (addr, _handle, join) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let (_, source) = sources().remove(0);
+
+    let (ir_cold, cached_cold) = compile_ir(&mut client, &source);
+    assert!(!cached_cold);
+    let analyses_after_cold = client.stats().unwrap().analyses;
+    assert!(analyses_after_cold > 0, "cold compile must analyze");
+
+    for _ in 0..3 {
+        let (ir_hit, cached_hit) = compile_ir(&mut client, &source);
+        assert!(cached_hit, "identical compile must be served from cache");
+        assert_eq!(ir_hit, ir_cold, "cached IR must be byte-identical");
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.analyses, analyses_after_cold,
+        "cache hits must perform zero additional whole-program analyses"
+    );
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.cache.hits, 3);
+
+    client.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_artifacts() {
+    let (addr, _handle, join) = start(ServerConfig {
+        workers: 8,
+        ..ServerConfig::default()
+    });
+    let programs = sources();
+    // 9 threads: three per source, racing both same-key and
+    // different-key requests through the daemon at once.
+    let threads: Vec<_> = (0..9)
+        .map(|i| {
+            let (name, source) = programs[i % programs.len()].clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let (ir, _) = compile_ir(&mut client, &source);
+                (name, source, ir)
+            })
+        })
+        .collect();
+    let results: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for (name, source, ir) in &results {
+        assert_eq!(
+            *ir,
+            reference_ir(source),
+            "{name}: daemon IR must match a single-threaded compile"
+        );
+    }
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cache.misses, 3,
+        "three distinct sources -> exactly three compiles, no stampede"
+    );
+    assert_eq!(stats.cache.hits, 6);
+    client.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn stampede_on_one_popular_key_compiles_once() {
+    let (addr, _handle, join) = start(ServerConfig {
+        workers: 8,
+        ..ServerConfig::default()
+    });
+    let (_, source) = sources().remove(2); // treesum: the slowest compile
+    let irs: Vec<String> = (0..8)
+        .map(|_| {
+            let source = source.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                compile_ir(&mut client, &source).0
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+    let reference = reference_ir(&source);
+    for ir in &irs {
+        assert_eq!(*ir, reference);
+    }
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cache.misses, 1,
+        "popular key must compile exactly once"
+    );
+    assert_eq!(stats.cache.hits, 7);
+    client.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn run_and_pgo_flow_through_the_daemon() {
+    let (addr, _handle, join) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let (_, source) = sources().remove(0); // count.ec: main(n) counts a list
+
+    match client
+        .run(
+            &source,
+            CompileOptions::default(),
+            "main",
+            2,
+            vec![Arg::Int(5)],
+        )
+        .unwrap()
+    {
+        Response::Run { ret, cached, .. } => {
+            assert_eq!(ret, "1");
+            assert!(!cached, "first request compiles");
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // PGO: measure, then a profile-guided compile keys on the profile.
+    let profiled = CompileOptions {
+        use_profile: true,
+        ..CompileOptions::default()
+    };
+    let (_, cached) = match client.compile(&source, profiled.clone()).unwrap() {
+        Response::Compile { ir, cached, .. } => (ir, cached),
+        other => panic!("{other:?}"),
+    };
+    assert!(!cached);
+    match client.pgo(&source, "main", 2, vec![Arg::Int(5)]).unwrap() {
+        Response::Pgo {
+            sites,
+            merged_sites,
+            ..
+        } => {
+            assert!(sites > 0, "instrumented run must record sites");
+            assert_eq!(sites, merged_sites, "first merge");
+        }
+        other => panic!("{other:?}"),
+    }
+    // The profile changed, so a profile-guided compile re-keys (miss),
+    // while the profile-independent artifact still hits.
+    match client.compile(&source, profiled).unwrap() {
+        Response::Compile { cached, .. } => assert!(!cached),
+        other => panic!("{other:?}"),
+    }
+    match client.compile(&source, CompileOptions::default()).unwrap() {
+        Response::Compile { cached, .. } => assert!(cached),
+        other => panic!("{other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn daemon_survives_bad_programs() {
+    let (addr, _handle, join) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    // A frontend error must come back as a server error, not kill the
+    // daemon or poison the cache.
+    assert!(client
+        .compile("int main( {", CompileOptions::default())
+        .is_err());
+    let (_, source) = sources().remove(0);
+    let (_, cached) = compile_ir(&mut client, &source);
+    assert!(!cached);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.cache.misses, 2, "failed compile counts as a miss");
+    assert_eq!(stats.cache.entries, 1, "failed compile caches nothing");
+    client.shutdown().unwrap();
+    join.join().unwrap();
+}

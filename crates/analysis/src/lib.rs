@@ -10,6 +10,10 @@
 //! * [`rw_sets`] — hierarchical read/write sets decorating every basic and
 //!   compound statement;
 //! * [`locality`] — locality inference upgrading provably-local pointers;
+//! * [`ptprob`] — probability-annotated alias/frequency facts (structural
+//!   branch heuristics blended with measured frequencies) and [`induction`]
+//!   — loop pointer-induction recognition; both weight the optimizer's
+//!   *cost* decisions only, never its safety rules;
 //! * the [`FunctionAnalysis`] facade with the two queries the placement
 //!   analysis needs: `varWritten` and `accessedViaAlias` (the paper's
 //!   anchor-handle-based alias query, here answered with connection
@@ -43,13 +47,17 @@
 
 pub mod cache;
 pub mod effects;
+pub mod induction;
 pub mod locality;
+pub mod ptprob;
 pub mod rw_sets;
 mod uf;
 
 pub use cache::{AnalysisCache, CacheStats};
 pub use effects::{analyze_effects, reanalyze_function, Regions, Root, Summary};
+pub use induction::{find_pointer_inductions, PointerInduction};
 pub use locality::{infer_locality, LocalityReport};
+pub use ptprob::{MeasuredFreqs, ProbFacts};
 pub use rw_sets::{HeapAccess, RwSet, RwSets};
 
 use earth_ir::{FieldId, FuncId, Label, Program, VarId};

@@ -1,0 +1,48 @@
+//! Alias-mode ablation over the Olden suite, emitting the repo's
+//! `BENCH_commopt.json` perf artifact: per-kernel communication volume and
+//! virtual time for simple vs static (binary alias) vs prob-alias vs
+//! profile-fed prob-alias builds.
+//!
+//! ```text
+//! cargo run --release --bin bench_commopt -- [--test|--small|--full] [--nodes N] [--out FILE]
+//! ```
+
+use earth_bench::ablation::render_variants;
+use earth_bench::commopt::{run_commopt, to_json};
+use earth_bench::{nodes_from_args, preset_from_args};
+
+fn main() {
+    let preset = preset_from_args();
+    let nodes = nodes_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_commopt.json".into());
+    println!("commopt alias-mode ablation ({preset:?} preset, {nodes} nodes)\n");
+    let results: Vec<_> = earth_olden::suite()
+        .iter()
+        .map(|b| {
+            let r = run_commopt(b, preset, nodes);
+            print!("{}", render_variants(r.bench, &r.variants));
+            println!();
+            r
+        })
+        .collect();
+    let improved = results
+        .iter()
+        .filter(|r| r.variant("prob").comm < r.variant("static").comm)
+        .count();
+    println!(
+        "prob-alias reduces comm vs static on {improved}/{} kernels",
+        results.len()
+    );
+    let json = to_json(&results, preset, nodes);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write `{out}`: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

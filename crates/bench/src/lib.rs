@@ -8,18 +8,22 @@
 //!   Table III (performance improvement),
 //! * [`ablation`] — component / threshold / frequency ablations beyond the
 //!   paper,
+//! * [`commopt`] — the alias-mode ablation (simple / static / prob-alias /
+//!   profile-fed prob-alias) behind the `BENCH_commopt.json` artifact,
 //! * [`pgo`] — static heuristics vs measured-profile feedback
 //!   (instrument → simulate → recompile).
 //!
 //! Runnable binaries: `table1`, `table2`, `fig10`, `table3`,
 //! `ablation_threshold`, `ablation_placement`, `ablation_freq`,
-//! `ablation_pgo` (all accept `--small` / `--full` to change the problem
-//! size) — plus Criterion benches `comm_costs`, `olden`, and `pipeline`.
+//! `ablation_pgo`, `bench_commopt` (all accept `--small` / `--full` to
+//! change the problem size) — plus Criterion benches `comm_costs`,
+//! `olden`, and `pipeline`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod commopt;
 pub mod experiments;
 pub mod pgo;
 pub mod render;

@@ -65,6 +65,24 @@ impl CommCostModel {
     }
 }
 
+/// Which alias/frequency analysis feeds the placement cost model.
+///
+/// The *safety* rules (kill rules, span-conflict checks) are identical in
+/// both modes — probabilities may only reweight cost decisions, an
+/// invariant the `earth-lint` validator enforces (diagnostics
+/// `ALP001`–`ALP003`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AliasMode {
+    /// The paper's binary may-alias facts and static frequency guesses.
+    #[default]
+    Binary,
+    /// Probability-annotated facts (`earth_analysis::ptprob`): structural
+    /// branch heuristics weight tuple frequencies, and recognized pointer
+    /// inductions unlock a cost-only blocking relaxation in
+    /// pointer-chasing loops.
+    Prob,
+}
+
 /// Full optimizer configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommOptConfig {
@@ -110,6 +128,9 @@ pub struct CommOptConfig {
     /// ([`should_block_profiled`](CommOptConfig::should_block_profiled)).
     /// `None` keeps the paper's static heuristics.
     pub profile: Option<Arc<ProfileDb>>,
+    /// Which alias/frequency analysis feeds the cost model
+    /// (`--alias {binary,prob}`; default binary, the paper's analysis).
+    pub alias: AliasMode,
 }
 
 impl Default for CommOptConfig {
@@ -124,6 +145,7 @@ impl Default for CommOptConfig {
             enable_blocking: true,
             enable_redundancy_elim: true,
             profile: None,
+            alias: AliasMode::default(),
         }
     }
 }
@@ -222,6 +244,47 @@ impl CommOptConfig {
         }
         blocked < self.cost.pipelined_cost(read_fields, write_fields)
     }
+
+    /// The blocking decision for a span whose pointer is a recognized loop
+    /// induction (`p = p->f` once per iteration) with continue probability
+    /// `loop_prob` (prob-alias mode only).
+    ///
+    /// The static `block_threshold` gate exists because static frequencies
+    /// are guesses; an induction span provably executes once per surviving
+    /// iteration, so — exactly as under measurement
+    /// ([`should_block_profiled`](CommOptConfig::should_block_profiled)) —
+    /// the decision falls to the cost model alone, discounted by the
+    /// probability an iteration actually runs. The spurious-words rule
+    /// still applies. A loop more likely to exit than continue
+    /// (`loop_prob < 0.5`) keeps the static decision.
+    pub fn should_block_induction(
+        &self,
+        read_fields: usize,
+        write_fields: usize,
+        struct_words: usize,
+        full_init: bool,
+        loop_prob: f64,
+    ) -> bool {
+        if !self.enable_blocking || loop_prob < 0.5 {
+            return false;
+        }
+        let words_needed = read_fields + write_fields;
+        if struct_words as f64 > self.spurious_ratio * words_needed as f64 {
+            return false;
+        }
+        let mut blocked = if full_init {
+            0.0
+        } else {
+            self.cost.blkmov_cost(struct_words)
+        };
+        if write_fields > 0 {
+            blocked += self.cost.blkmov_cost(struct_words);
+        }
+        // Conservative tilt: the pipelined side is discounted by the
+        // continue probability, so blocking must pay off even when only a
+        // `loop_prob` fraction of entries reaches the span.
+        blocked < self.cost.pipelined_cost(read_fields, write_fields) * loop_prob
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +346,33 @@ mod tests {
         assert!(!cfg.should_block_profiled(3, 0, 60, false, 100));
         // A single profiled read is not worth a blkmov (1908 < 2602).
         assert!(!cfg.should_block_profiled(1, 0, 1, false, 100));
+    }
+
+    #[test]
+    fn induction_blocking_is_cost_only_but_probability_gated() {
+        let cfg = CommOptConfig::default();
+        // A two-word list node (next + payload): below the static
+        // threshold, but the cost model favours one blkmov over two
+        // pipelined reads when the loop almost always continues.
+        assert!(!cfg.should_block(2, 0, 2));
+        assert!(cfg.should_block_induction(2, 0, 2, false, 0.9));
+        // A loop more likely to exit than continue keeps the static
+        // decision.
+        assert!(!cfg.should_block_induction(2, 0, 2, false, 0.3));
+        // The spurious-words rule still protects dependent chains.
+        assert!(!cfg.should_block_induction(2, 0, 60, false, 0.9));
+        // A single read never beats its own blkmov.
+        assert!(!cfg.should_block_induction(1, 0, 1, false, 0.9));
+        // The discount can tip a marginal span back to pipelining:
+        // 2 reads of a 2-word struct costs 2762 blocked vs 3816 * p
+        // pipelined — at p = 0.7 the pipelined side is cheaper.
+        assert!(!cfg.should_block_induction(2, 0, 2, false, 0.7));
+    }
+
+    #[test]
+    fn alias_mode_defaults_to_binary() {
+        assert_eq!(CommOptConfig::default().alias, AliasMode::Binary);
+        assert_eq!(AliasMode::default(), AliasMode::Binary);
     }
 
     #[test]

@@ -47,18 +47,20 @@ pub mod rce;
 pub mod selection;
 pub mod transform;
 
-pub use config::{CommCostModel, CommOptConfig, FreqModel};
+pub use config::{AliasMode, CommCostModel, CommOptConfig, FreqModel};
 pub use earth_profile::{FuncProfile, Profile, ProfileDb};
 pub use inline::{inline_functions, InlineConfig, InlineReport};
 pub use layout::{reorder_fields, LayoutReport};
-pub use motion::{Motion, MotionKind, MotionLog};
-pub use placement::{analyze_placement, analyze_placement_profiled, Placement};
+pub use motion::{Motion, MotionKind, MotionLog, ProbJustification};
+pub use placement::{
+    analyze_placement, analyze_placement_profiled, analyze_placement_with, Placement,
+};
 pub use rce::{CommSet, Rce};
-pub use selection::{select, select_profiled, Plan, Replace, SelectionStats};
+pub use selection::{select, select_profiled, select_with, Plan, Replace, SelectionStats};
 pub use transform::apply_plan;
 
-use earth_analysis::ProgramAnalysis;
-use earth_ir::{FuncId, Function, Program};
+use earth_analysis::{MeasuredFreqs, ProbFacts, ProgramAnalysis};
+use earth_ir::{FuncId, Function, Program, Stmt, StmtKind};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -92,6 +94,7 @@ impl OptReport {
             t.reads_rewritten += f.stats.reads_rewritten;
             t.writes_rewritten += f.stats.writes_rewritten;
             t.pgo_flips += f.stats.pgo_flips;
+            t.induction_blocks += f.stats.induction_blocks;
         }
         t
     }
@@ -113,6 +116,34 @@ pub fn clamp_workers(requested: usize) -> usize {
     requested.clamp(1, default_workers())
 }
 
+/// Converts a resolved profile view into the crate-neutral
+/// [`MeasuredFreqs`] form consumed by [`ProbFacts::compute`] (the analysis
+/// crate cannot depend on the profile crate): the measured branch
+/// probability of every `if` and the continue probability / mean trip
+/// count of every loop, keyed by statement label. Returns `None` when no
+/// profile covered the function, so the structural heuristics stand alone.
+pub fn measured_freqs(func: &Function, view: Option<&FuncProfile>) -> Option<MeasuredFreqs> {
+    let view = view.filter(|v| v.matched() > 0)?;
+    let mut m = MeasuredFreqs::default();
+    func.body.walk(&mut |s: &Stmt| match &s.kind {
+        StmtKind::If { .. } => {
+            if let Some(p) = view.branch_prob(s.label) {
+                m.branch_prob.insert(s.label, p);
+            }
+        }
+        StmtKind::While { .. } | StmtKind::DoWhile { .. } => {
+            if let Some(p) = view.branch_prob(s.label) {
+                m.branch_prob.insert(s.label, p);
+            }
+            if let Some(t) = view.loop_trips(s.label) {
+                m.loop_trips.insert(s.label, t);
+            }
+        }
+        _ => {}
+    });
+    Some(m)
+}
+
 /// Placement analysis + selection + transformation for one function,
 /// against the whole-program `analysis`. Pure with respect to `prog` (only
 /// struct layouts and the function body are read), which is what makes the
@@ -129,8 +160,24 @@ fn optimize_function(
     // selection rewrites the tree — the same pipeline point at which the
     // instrumented compile recorded them (see `earth_ir::site`).
     let view = cfg.profile.as_ref().map(|db| db.function_view(fid, &func));
-    let placement = analyze_placement_profiled(&func, fa, &cfg.freq, view.as_ref());
-    let plan = select_profiled(prog, &mut func, fa, &placement, cfg, view.as_ref());
+    let facts = match cfg.alias {
+        AliasMode::Binary => None,
+        AliasMode::Prob => Some(ProbFacts::compute(
+            &func,
+            fa,
+            measured_freqs(&func, view.as_ref()).as_ref(),
+        )),
+    };
+    let placement = analyze_placement_with(&func, fa, &cfg.freq, view.as_ref(), facts.as_ref());
+    let plan = select_with(
+        prog,
+        &mut func,
+        fa,
+        &placement,
+        cfg,
+        view.as_ref(),
+        facts.as_ref(),
+    );
     apply_plan(&mut func, &plan);
     let report = FnReport {
         func: fid,
@@ -688,6 +735,60 @@ mod tests {
         assert_eq!(t.pgo_flips, 1);
         // Semantics preserved.
         earth_ir::validate_program(&pgo_prog).unwrap();
+    }
+
+    /// The prob-alias induction relaxation blocks a two-word list-walk
+    /// span that the static threshold of three leaves pipelined; the
+    /// motion carries a machine-checkable justification naming the loop,
+    /// the advance statement, and the probability.
+    #[test]
+    fn prob_alias_unlocks_induction_blocking() {
+        let src = r#"
+            struct node { node* next; double v; };
+            double sum(node *head) {
+                node *p;
+                double acc;
+                acc = 0.0;
+                p = head;
+                while (p != NULL) {
+                    acc = acc + p->v;
+                    p = p->next;
+                }
+                return acc;
+            }
+        "#;
+        // Binary mode: 2 accessed fields < threshold 3, nothing blocks.
+        let mut binary = compile(src).unwrap();
+        let b_report = optimize_program(&mut binary, &CommOptConfig::default());
+        assert_eq!(b_report.total().blocked_spans, 0);
+        assert_eq!(b_report.total().induction_blocks, 0);
+
+        // Prob mode: p is a recognized induction of a `p != NULL` loop
+        // (continue probability 0.9), so the cost model decides and one
+        // blkmov replaces the two pipelined reads per iteration.
+        let mut prob = compile(src).unwrap();
+        let cfg = CommOptConfig {
+            alias: AliasMode::Prob,
+            ..CommOptConfig::default()
+        };
+        let p_report = optimize_program(&mut prob, &cfg);
+        let t = p_report.total();
+        assert_eq!(t.blocked_spans, 1, "{}", pretty::print_program(&prob));
+        assert_eq!(t.induction_blocks, 1);
+        let motion = p_report
+            .functions
+            .iter()
+            .flat_map(|f| f.motion.iter())
+            .find(|m| m.kind == MotionKind::BlockRead)
+            .expect("a block-read motion");
+        let j = motion
+            .justification
+            .as_ref()
+            .expect("justified by induction");
+        assert!((0.0..=1.0).contains(&j.prob));
+        let text = listing(&prob, "sum");
+        assert!(text.contains("blkmov(p, &bcomm1, sizeof(*p));"), "{text}");
+        assert!(text.contains("p = bcomm1.next"), "{text}");
     }
 
     /// Under a redundancy-only configuration the duplicate loads still

@@ -43,6 +43,30 @@ impl MotionKind {
     }
 }
 
+/// The probabilistic evidence behind an induction-justified motion
+/// (prob-alias mode): the span's pointer is a recognized loop induction,
+/// and the blocking decision used the cost-only relaxation discounted by
+/// the loop's continue probability.
+///
+/// This records *cost* evidence only — the span's safety was established
+/// by the same binary rules as every other motion, and the validator
+/// independently re-derives both halves: the induction claim against the
+/// pre-optimization program (`ALP001`), the window against the binary
+/// conflict rules (`ALP002` on top of the `PLC` codes), and the
+/// probability range (`ALP003`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbJustification {
+    /// The loop whose induction unlocked the relaxation.
+    pub loop_label: Label,
+    /// The unique `p = p->field` advance statement inside that loop.
+    pub advance_label: Label,
+    /// The chased link field.
+    pub field: FieldId,
+    /// The loop's continue probability used to discount the cost model
+    /// (must be in `[0, 1]`).
+    pub prob: f64,
+}
+
 /// One motion: a remote operation moved (or merged) by selection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Motion {
@@ -65,6 +89,10 @@ pub struct Motion {
     pub kind: MotionKind,
     /// Human-readable justification recorded at decision time.
     pub reason: String,
+    /// Probabilistic cost evidence, present only when the prob-alias
+    /// induction relaxation (not the static cost model) made the blocking
+    /// decision. `None` for every binary-mode motion.
+    pub justification: Option<ProbJustification>,
 }
 
 impl Motion {
@@ -91,7 +119,15 @@ impl fmt::Display for Motion {
             if self.before { "before" } else { "after" },
             self.to_label,
             self.reason
-        )
+        )?;
+        if let Some(j) = &self.justification {
+            write!(
+                f,
+                " (induction {} = {}~>f{} @ {}, p={:.2})",
+                self.base_name, self.base_name, j.field.0, j.advance_label, j.prob
+            )?;
+        }
+        Ok(())
     }
 }
 

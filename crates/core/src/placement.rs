@@ -27,7 +27,7 @@
 
 use crate::config::FreqModel;
 use crate::rce::{CommSet, Rce};
-use earth_analysis::{AccessKind, FunctionAnalysis};
+use earth_analysis::{AccessKind, FunctionAnalysis, ProbFacts};
 use earth_ir::{Basic, Function, Label, MemRef, Operand, Place, Rvalue, Stmt, StmtKind};
 use earth_profile::FuncProfile;
 use std::collections::{HashMap, HashSet};
@@ -98,6 +98,23 @@ pub fn analyze_placement_profiled(
     freq: &FreqModel,
     profile: Option<&FuncProfile>,
 ) -> Placement {
+    analyze_placement_with(f, fa, freq, profile, None)
+}
+
+/// [`analyze_placement_profiled`] with optional probability annotations
+/// (`--alias prob`). Facts refine the *frequency* adjustments only — a
+/// heuristic branch probability replaces the static halving where no
+/// measurement exists — while the kill rules keep consulting the binary
+/// alias queries unchanged (probabilities weight cost, never safety; the
+/// `earth-lint` validator enforces this). Precedence per statement:
+/// measured profile, then probability facts, then the static model.
+pub fn analyze_placement_with(
+    f: &Function,
+    fa: &FunctionAnalysis,
+    freq: &FreqModel,
+    profile: Option<&FuncProfile>,
+    facts: Option<&ProbFacts>,
+) -> Placement {
     // Statements whose subtree may return early: hoisting a read above
     // them makes it execute on paths where it originally did not (the
     // paper's footnote 2 — only allowed when speculative remote reads are
@@ -148,6 +165,7 @@ pub fn analyze_placement_profiled(
         fa,
         freq,
         profile,
+        facts,
         has_return,
         out: Placement::default(),
     };
@@ -162,22 +180,28 @@ struct Ctx<'a> {
     fa: &'a FunctionAnalysis,
     freq: &'a FreqModel,
     profile: Option<&'a FuncProfile>,
+    facts: Option<&'a ProbFacts>,
     has_return: HashSet<Label>,
     out: Placement,
 }
 
 impl Ctx<'_> {
-    /// Measured probability that the branch at `l` was taken, if profiled.
+    /// Probability that the branch at `l` is taken: the measurement when
+    /// profiled, else the structural heuristic when prob-alias facts are
+    /// present, else `None` (the caller's static 0.5).
     fn branch_prob(&self, l: Label) -> Option<f64> {
-        self.profile.and_then(|p| p.branch_prob(l))
+        self.profile
+            .and_then(|p| p.branch_prob(l))
+            .or_else(|| self.facts.and_then(|f| f.branch_prob(l)))
     }
 
     /// Expected iterations of the loop at `l`: the measured mean trip
-    /// count when profiled, the static [`FreqModel::loop_factor`] guess
-    /// otherwise.
+    /// count when profiled (directly or via the facts), the static
+    /// [`FreqModel::loop_factor`] guess otherwise.
     fn loop_trips(&self, l: Label) -> f64 {
         self.profile
             .and_then(|p| p.loop_trips(l))
+            .or_else(|| self.facts.and_then(|f| f.loop_trips(l)))
             .unwrap_or(self.freq.loop_factor)
     }
 

@@ -26,9 +26,9 @@
 //! enables blocked communication").
 
 use crate::config::CommOptConfig;
-use crate::motion::{Motion, MotionKind, MotionLog};
+use crate::motion::{Motion, MotionKind, MotionLog, ProbJustification};
 use crate::placement::Placement;
-use earth_analysis::{AccessKind, FunctionAnalysis};
+use earth_analysis::{AccessKind, FunctionAnalysis, ProbFacts};
 use earth_ir::{
     Basic, BlkDir, FieldId, Function, Label, MemRef, Place, Program, Rvalue, Stmt, StmtKind, Ty,
     VarDecl, VarId, VarOrigin,
@@ -63,6 +63,10 @@ pub struct SelectionStats {
     /// Number of blocking decisions where the measured profile reversed
     /// the static cost-model choice (profile-guided runs only).
     pub pgo_flips: usize,
+    /// Number of blocked spans unlocked by the pointer-induction cost
+    /// relaxation (prob-alias mode only): spans the static threshold would
+    /// have left pipelined.
+    pub induction_blocks: usize,
 }
 
 /// The output of communication selection: edits for the transformer.
@@ -106,6 +110,28 @@ pub fn select_profiled(
     cfg: &CommOptConfig,
     profile: Option<&FuncProfile>,
 ) -> Plan {
+    select_with(prog, func, fa, placement, cfg, profile, None)
+}
+
+/// [`select_profiled`] with optional probability annotations
+/// (`--alias prob`). The facts change exactly one decision class: a span
+/// whose pointer is a recognized loop induction (`p = p->f` once per
+/// iteration) is decided by
+/// [`should_block_induction`](CommOptConfig::should_block_induction) —
+/// the cost model discounted by the loop's continue probability — instead
+/// of the static threshold gate, and such motions carry a
+/// [`ProbJustification`] that the `earth-lint` validator independently
+/// re-derives. Span *safety* (conflict checks, terminal detection) is
+/// identical in both modes.
+pub fn select_with(
+    prog: &Program,
+    func: &mut Function,
+    fa: &FunctionAnalysis,
+    placement: &Placement,
+    cfg: &CommOptConfig,
+    profile: Option<&FuncProfile>,
+    facts: Option<&ProbFacts>,
+) -> Plan {
     let mut sel = Selector {
         prog,
         fa,
@@ -113,6 +139,7 @@ pub fn select_profiled(
         // Feedback only applies where the profiling run reached: a
         // function with no matched sites falls back to the static model.
         profile: profile.filter(|v| v.matched() > 0),
+        facts,
         plan: Plan::default(),
         covered: HashSet::new(),
         comm_counter: 0,
@@ -120,7 +147,7 @@ pub fn select_profiled(
     };
     if cfg.enable_blocking {
         let body = func.body.clone();
-        sel.block_spans(func, placement, &body);
+        sel.block_spans(func, placement, &body, None);
     }
     if cfg.enable_motion || cfg.enable_redundancy_elim {
         let body = func.body.clone();
@@ -134,6 +161,7 @@ struct Selector<'a> {
     fa: &'a FunctionAnalysis,
     cfg: &'a CommOptConfig,
     profile: Option<&'a FuncProfile>,
+    facts: Option<&'a ProbFacts>,
     plan: Plan,
     /// Labels of original accesses already rewritten.
     covered: HashSet<Label>,
@@ -153,33 +181,55 @@ impl Selector<'_> {
     // ====================== Phase A: blocking ======================
 
     /// Recursively processes every statement sequence, detecting blockable
-    /// spans among its children.
-    fn block_spans(&mut self, func: &mut Function, placement: &Placement, s: &Stmt) {
+    /// spans among its children. `enclosing_loop` is the label of the
+    /// innermost `while`/`do-while` the sequence sits in — the scope in
+    /// which a pointer-induction fact can justify the blocking relaxation.
+    fn block_spans(
+        &mut self,
+        func: &mut Function,
+        placement: &Placement,
+        s: &Stmt,
+        enclosing_loop: Option<Label>,
+    ) {
         if let StmtKind::Seq(children) = &s.kind {
-            self.block_spans_in_seq(func, placement, children);
+            self.block_spans_in_seq(func, placement, children, enclosing_loop);
         }
         match &s.kind {
             StmtKind::Seq(ss) | StmtKind::ParSeq(ss) => {
                 for c in ss {
-                    self.block_spans(func, placement, c);
+                    self.block_spans(func, placement, c, enclosing_loop);
                 }
             }
             StmtKind::Basic(_) => {}
             StmtKind::If { then_s, else_s, .. } => {
-                self.block_spans(func, placement, then_s);
-                self.block_spans(func, placement, else_s);
+                self.block_spans(func, placement, then_s, enclosing_loop);
+                self.block_spans(func, placement, else_s, enclosing_loop);
             }
             StmtKind::Switch { cases, default, .. } => {
                 for (_, cs) in cases {
-                    self.block_spans(func, placement, cs);
+                    self.block_spans(func, placement, cs, enclosing_loop);
                 }
-                self.block_spans(func, placement, default);
+                self.block_spans(func, placement, default, enclosing_loop);
             }
             StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
-                self.block_spans(func, placement, body)
+                self.block_spans(func, placement, body, Some(s.label))
             }
-            StmtKind::Forall { body, .. } => self.block_spans(func, placement, body),
+            StmtKind::Forall { body, .. } => self.block_spans(func, placement, body, None),
         }
+    }
+
+    /// The induction justification available for a span on pointer `p`
+    /// inside `enclosing_loop`, if the prob-alias facts recognized one.
+    fn induction_for(&self, p: VarId, enclosing_loop: Option<Label>) -> Option<ProbJustification> {
+        let facts = self.facts?;
+        let loop_label = enclosing_loop?;
+        let ind = facts.induction_at(loop_label, p)?;
+        Some(ProbJustification {
+            loop_label,
+            advance_label: ind.advance_label,
+            field: ind.field,
+            prob: facts.branch_prob(loop_label)?,
+        })
     }
 
     fn block_spans_in_seq(
@@ -187,6 +237,7 @@ impl Selector<'_> {
         func: &mut Function,
         placement: &Placement,
         children: &[Stmt],
+        enclosing_loop: Option<Label>,
     ) {
         // Candidate pointers: bases of direct remote derefs in the children,
         // in order of first appearance.
@@ -208,7 +259,7 @@ impl Selector<'_> {
         for p in candidates {
             let mut k = 0;
             while k < children.len() {
-                match self.try_span(func, placement, children, p, k) {
+                match self.try_span(func, placement, children, p, k, enclosing_loop) {
                     Some(next_k) => k = next_k,
                     None => break,
                 }
@@ -226,6 +277,7 @@ impl Selector<'_> {
         children: &[Stmt],
         p: VarId,
         from: usize,
+        enclosing_loop: Option<Label>,
     ) -> Option<usize> {
         // Find the first child with an unclaimed direct access via p.
         let start = (from..children.len()).find(|&i| {
@@ -308,6 +360,7 @@ impl Selector<'_> {
             range_words,
             full_init,
         );
+        let mut justification = None;
         let block = match self.profile {
             Some(view) => {
                 // The span executes as a unit; any inner conditional can
@@ -330,7 +383,31 @@ impl Selector<'_> {
                 }
                 measured
             }
-            None => static_choice,
+            None => {
+                // Prob-alias mode: a span on the loop's induction pointer
+                // provably executes once per surviving iteration, so the
+                // static threshold gate yields to the probability-weighted
+                // cost model. The relaxation only ever *adds* blocking —
+                // a statically profitable span stays blocked regardless.
+                let induction_choice = self.induction_for(p, enclosing_loop).and_then(|j| {
+                    self.cfg
+                        .should_block_induction(
+                            read_fields.len(),
+                            write_fields.len(),
+                            range_words,
+                            full_init,
+                            j.prob,
+                        )
+                        .then_some(j)
+                });
+                if !static_choice {
+                    if let Some(j) = induction_choice {
+                        self.plan.stats.induction_blocks += 1;
+                        justification = Some(j);
+                    }
+                }
+                static_choice || justification.is_some()
+            }
         };
         if !block {
             return Some(continue_at);
@@ -409,12 +486,18 @@ impl Selector<'_> {
                 kind: MotionKind::BlockRead,
                 reason: format!(
                     "blocked span of {} direct accesses ({} read / {} written fields, \
-                     {range_words} words); read hoisted {} statement(s) above the span",
+                     {range_words} words); read hoisted {} statement(s) above the span{}",
                     accesses.len(),
                     read_fields.len(),
                     write_fields.len(),
-                    start - anchor
+                    start - anchor,
+                    if justification.is_some() {
+                        "; cost gate relaxed by loop pointer induction"
+                    } else {
+                        ""
+                    }
                 ),
+                justification: justification.clone(),
             });
         }
         self.plan.stats.blocked_spans += 1;
@@ -461,6 +544,7 @@ impl Selector<'_> {
                 } else {
                     "buffered writes flushed after the last span statement".into()
                 },
+                justification: justification.clone(),
             });
             match terminal {
                 Some(t) => self
@@ -690,6 +774,7 @@ impl Selector<'_> {
                     t.freq,
                     t.labels.len()
                 ),
+                justification: None,
             });
             self.plan.stats.pipelined_reads += 1;
             for l in &t.labels {

@@ -59,6 +59,7 @@ pub mod diag;
 pub mod func;
 pub mod json;
 pub mod pretty;
+pub mod rules;
 pub mod site;
 pub mod stmt;
 pub mod types;
@@ -67,6 +68,7 @@ pub mod var;
 
 pub use diag::{DiagLabel, Diagnostic, Severity};
 pub use func::{FuncId, Function, Program};
+pub use rules::{lookup as rule_lookup, RuleDoc, RULES};
 pub use site::{assign_program_sites, assign_sites, ProgramSites, SiteId, SiteMap};
 pub use stmt::{
     AtTarget, Basic, BinOp, BlkDir, Builtin, Cond, Const, DerefAccess, Label, MemRef, Operand,

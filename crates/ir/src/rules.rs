@@ -1,0 +1,234 @@
+//! Rule documentation registry — the single source of truth behind
+//! `earthcc lint --explain <CODE>`.
+//!
+//! Every diagnostic code the workspace can emit has one [`RuleDoc`] entry
+//! here: the IR validator's `IR` codes ([`crate::validate`]), the parallel
+//! soundness linter's `PAR` codes (`earth-lint::races`), the placement
+//! translation validator's `PLC` codes (`earth-lint::verify`), and the
+//! probabilistic-justification `ALP` codes layered on top of them. Tests in
+//! the emitting crates cross-check that every code they produce resolves
+//! through [`lookup`], so the registry cannot silently drift from the
+//! diagnostics.
+
+/// Documentation for one diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleDoc {
+    /// The diagnostic code, e.g. `"PLC002"`.
+    pub code: &'static str,
+    /// One-line summary (matches the wording of the emitted message).
+    pub summary: &'static str,
+    /// Longer explanation: what the rule protects and how violations arise.
+    pub detail: &'static str,
+}
+
+/// Every documented rule, sorted by code.
+pub const RULES: &[RuleDoc] = &[
+    RuleDoc {
+        code: "ALP001",
+        summary: "probability justification names an induction the recognizer cannot re-derive",
+        detail: "Prob-alias mode may relax the blocking cost gate for a span whose base \
+                 pointer is a recognized loop induction (a unique `p = p->field` advance). \
+                 Each such motion records the claimed loop, advance statement, and link \
+                 field. The validator re-runs the induction recognizer on the \
+                 pre-optimization body and rejects any motion whose claim it cannot \
+                 reproduce exactly — a cost relaxation with a fabricated basis never ships.",
+    },
+    RuleDoc {
+        code: "ALP002",
+        summary: "probability-justified motion with a binary-detectable conflict in its window",
+        detail: "Probabilities weight the optimizer's cost model; they never weaken its \
+                 safety rules. If the window of a probability-justified motion contains a \
+                 conflict that the binary (non-probabilistic) kill rules detect, the motion \
+                 is hard-rejected regardless of how favourable the recorded probability is. \
+                 This is the enforcement half of the invariant that unsound placements stay \
+                 killed under every alias mode.",
+    },
+    RuleDoc {
+        code: "ALP003",
+        summary: "justification probability outside [0, 1]",
+        detail: "The continue probability recorded in an induction justification must be a \
+                 probability. Values outside [0, 1] indicate a corrupted or hand-forged \
+                 motion log and are rejected before any cost reasoning is trusted.",
+    },
+    RuleDoc {
+        code: "IR001",
+        summary: "basic statement contains more than one potentially-remote operation",
+        detail: "SIMPLE form requires at most one potentially-remote access (pointer \
+                 dereference or blkmov) per basic statement, so that communication \
+                 placement can reason about each operation independently. The frontend's \
+                 simplification pass establishes this; a violation means a malformed or \
+                 hand-built IR.",
+    },
+    RuleDoc {
+        code: "IR002",
+        summary: "duplicate statement label",
+        detail: "Statement labels identify IR nodes in placement sets, motion logs, and \
+                 profiles; every label must occur at exactly one tree position.",
+    },
+    RuleDoc {
+        code: "IR003",
+        summary: "variable not declared in this function",
+        detail: "An operand references a VarId outside the function's variable table.",
+    },
+    RuleDoc {
+        code: "IR004",
+        summary: "type error in basic statement",
+        detail: "Operand, field, or struct typing is inconsistent: wrong field for the \
+                 pointed-to struct, struct id out of range, or mismatched operand types in \
+                 an assignment or comparison.",
+    },
+    RuleDoc {
+        code: "IR005",
+        summary: "shared-memory operation on a non-shared variable",
+        detail: "`valueof` and atomic operations are only meaningful on variables marked \
+                 shared; on private variables they indicate a lowering bug.",
+    },
+    RuleDoc {
+        code: "IR006",
+        summary: "malformed blkmov",
+        detail: "A blkmov must pair a struct pointer with a matching local struct buffer, \
+                 and an optional word range must stay within the struct's size.",
+    },
+    RuleDoc {
+        code: "IR007",
+        summary: "malformed call",
+        detail: "Callee function id out of range, or a void function's result is assigned.",
+    },
+    RuleDoc {
+        code: "IR008",
+        summary: "dangling label never allocated by this function",
+        detail: "Every label must come from the owning function's allocator; labels beyond \
+                 the allocation bound break the label-keyed side tables.",
+    },
+    RuleDoc {
+        code: "IR009",
+        summary: "malformed structured statement",
+        detail: "Duplicate switch case values, or a forall whose init/step are not basic \
+                 statements.",
+    },
+    RuleDoc {
+        code: "IR010",
+        summary: "label has an unstable SiteId",
+        detail: "A label occurring at more than one tree position cannot be given a stable \
+                 SiteId, so profile feedback keyed on it would be ambiguous.",
+    },
+    RuleDoc {
+        code: "PAR000",
+        summary: "verdict for a parallel construct (note, not an error)",
+        detail: "Every forall and parallel sequence receives one PAR000 note classifying it \
+                 as provably independent or possibly racy, with the conflict count.",
+    },
+    RuleDoc {
+        code: "PAR001",
+        summary: "heap conflict across forall iterations",
+        detail: "A heap write in the forall body may conflict with a connected heap access \
+                 in another iteration, so iterations are not independent.",
+    },
+    RuleDoc {
+        code: "PAR002",
+        summary: "variable read before written inside a forall body",
+        detail: "An upward-exposed read of a written variable carries a value between \
+                 iterations; the variable is not privatizable per iteration.",
+    },
+    RuleDoc {
+        code: "PAR003",
+        summary: "heap conflict between arms of a parallel sequence",
+        detail: "A heap write in one arm may conflict with a connected heap access in a \
+                 concurrently executing arm.",
+    },
+    RuleDoc {
+        code: "PAR004",
+        summary: "stack variable conflict between arms of a parallel sequence",
+        detail: "A variable written by one arm is read or written by another arm running \
+                 concurrently.",
+    },
+    RuleDoc {
+        code: "PLC001",
+        summary: "base pointer redefined between a read's issue and its use",
+        detail: "A hoisted read's base pointer must hold the same value at the new issue \
+                 point as at every covered use; an intervening redefinition means the read \
+                 would fetch from the wrong node.",
+    },
+    RuleDoc {
+        code: "PLC002",
+        summary: "connected region written between a read's issue and its use",
+        detail: "A store to a heap region connected to the read's base may change the value \
+                 between the early issue and the original access, so the hoisted read could \
+                 observe stale data.",
+    },
+    RuleDoc {
+        code: "PLC003",
+        summary: "base pointer redefined before a buffered write-back flushed",
+        detail: "Block writes are buffered locally and flushed by one blkmov; redefining \
+                 the base before the flush would write the buffer to the wrong region.",
+    },
+    RuleDoc {
+        code: "PLC004",
+        summary: "connected region accessed while writes were still buffered",
+        detail: "Between a buffered store and its delayed flush, any connected heap access \
+                 could observe the stale pre-span value or be overwritten by the flush.",
+    },
+    RuleDoc {
+        code: "PLC005",
+        summary: "malformed motion entry (unknown or empty label sets)",
+        detail: "A motion log entry references labels that do not exist in the \
+                 pre-optimization body, or covers no original accesses at all.",
+    },
+];
+
+/// Looks up the documentation for `code` (exact, case-sensitive match).
+pub fn lookup(code: &str) -> Option<&'static RuleDoc> {
+    RULES
+        .binary_search_by(|r| r.code.cmp(code))
+        .ok()
+        .map(|i| &RULES[i])
+}
+
+/// The distinct code families, in registry order (e.g. `ALP`, `IR`, ...).
+pub fn families() -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for r in RULES {
+        let fam = &r.code[..r.code.len() - 3];
+        if out.last() != Some(&fam) {
+            out.push(fam);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for w in RULES.windows(2) {
+            assert!(w[0].code < w[1].code, "{} !< {}", w[0].code, w[1].code);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_rule() {
+        for r in RULES {
+            assert_eq!(lookup(r.code).unwrap().code, r.code);
+        }
+        assert!(lookup("PLC999").is_none());
+        assert!(lookup("plc001").is_none());
+    }
+
+    #[test]
+    fn families_are_complete() {
+        assert_eq!(families(), vec!["ALP", "IR", "PAR", "PLC"]);
+    }
+
+    #[test]
+    fn every_validator_code_is_documented() {
+        // The IR validator's own codes resolve through the registry.
+        for code in [
+            "IR001", "IR002", "IR003", "IR004", "IR005", "IR006", "IR007", "IR008", "IR009",
+            "IR010",
+        ] {
+            assert!(lookup(code).is_some(), "{code} undocumented");
+        }
+    }
+}

@@ -8,7 +8,9 @@
 //!   re-derives, from the pre-optimization IR and the
 //!   [`MotionLog`](earth_commopt::MotionLog), that no statement between a
 //!   moved operation's new and original placement invalidates it
-//!   (diagnostic codes `PLC001`–`PLC005`);
+//!   (diagnostic codes `PLC001`–`PLC005`), and that every
+//!   probability-justified motion of prob-alias mode rests on a
+//!   re-derivable induction and binary-safe window (`ALP001`–`ALP003`);
 //! * [`races`] — the **parallel-soundness linter**: classifies every
 //!   `forall` and parallel sequence as *provably independent* or *possibly
 //!   racy* (codes `PAR000`–`PAR004`).
@@ -45,8 +47,11 @@ pub use races::{
 };
 pub use verify::verify_motions;
 
-use earth_analysis::ProgramAnalysis;
-use earth_commopt::{analyze_placement, select, CommOptConfig};
+use earth_analysis::{ProbFacts, ProgramAnalysis};
+use earth_commopt::{
+    analyze_placement, analyze_placement_with, select, select_with, AliasMode, CommOptConfig,
+    FuncProfile,
+};
 use earth_ir::{Diagnostic, Program};
 
 /// Replays communication selection for every function of the
@@ -67,8 +72,27 @@ pub fn verify_program_with(
         // `select` adds temporaries to its function; the body (and thus
         // every original label) is untouched until `apply_plan`.
         let mut func = f.clone();
-        let placement = analyze_placement(&func, fa, &cfg.freq);
-        let plan = select(prog, &mut func, fa, &placement, cfg);
+        let plan = match cfg.alias {
+            AliasMode::Binary => {
+                let placement = analyze_placement(&func, fa, &cfg.freq);
+                select(prog, &mut func, fa, &placement, cfg)
+            }
+            AliasMode::Prob => {
+                // Replay with the same heuristic facts the optimizer used
+                // (the replay is profile-less, matching `verify_program`'s
+                // existing contract), so the motion log being validated is
+                // the one prob-alias mode actually produces.
+                let facts = ProbFacts::compute(&func, fa, None);
+                let placement = analyze_placement_with(
+                    &func,
+                    fa,
+                    &cfg.freq,
+                    None::<&FuncProfile>,
+                    Some(&facts),
+                );
+                select_with(prog, &mut func, fa, &placement, cfg, None, Some(&facts))
+            }
+        };
         out.extend(
             verify::verify_motions(&func, fa, &plan.motion)
                 .into_iter()

@@ -23,6 +23,19 @@
 //! | `PLC004` | connected region accessed while writes were still buffered   |
 //! | `PLC005` | malformed motion entry (unknown or empty label sets)         |
 //!
+//! Motions carrying a probabilistic justification (prob-alias mode's
+//! induction relaxation) are additionally checked against the invariant
+//! that **probabilities weight cost, never safety**: the claimed induction
+//! is re-derived by running the recognizer on the pre-optimization body,
+//! and a justified motion whose window the *binary* rules reject is
+//! hard-rejected no matter how favourable the probability:
+//!
+//! | code     | meaning                                                      |
+//! |----------|--------------------------------------------------------------|
+//! | `ALP001` | justification names an induction the recognizer cannot re-derive |
+//! | `ALP002` | probability-justified motion with a binary-detectable conflict in its window |
+//! | `ALP003` | justification probability outside `[0, 1]`                   |
+//!
 //! The window computation walks the structured statement tree in execution
 //! order. Loops already crossed by an active window contribute their whole
 //! subtree (a later iteration may execute any of it between issue and use);
@@ -31,8 +44,8 @@
 //! issue-to-use path); `ParSeq` arms run concurrently with an active window
 //! and are included wholesale.
 
-use earth_analysis::{AccessKind, FunctionAnalysis};
-use earth_commopt::{Motion, MotionKind, MotionLog};
+use earth_analysis::{find_pointer_inductions, AccessKind, FunctionAnalysis, PointerInduction};
+use earth_commopt::{Motion, MotionKind, MotionLog, ProbJustification};
 use earth_ir::{Diagnostic, Function, Label, Stmt, StmtKind};
 use std::collections::BTreeSet;
 
@@ -49,8 +62,18 @@ pub fn verify_motions(func: &Function, fa: &FunctionAnalysis, log: &MotionLog) -
         .iter()
         .flat_map(|m| m.from_labels.iter().copied())
         .collect();
+    // Independent re-derivation of every induction claim: recognized on
+    // the pre-optimization body, lazily, only if some motion is justified.
+    let inductions: Vec<PointerInduction> = if log.iter().any(|m| m.justification.is_some()) {
+        find_pointer_inductions(func, fa)
+    } else {
+        Vec::new()
+    };
 
     for m in log {
+        if let Some(j) = &m.justification {
+            check_justification(func, &inductions, m, j, &mut diags);
+        }
         if m.from_labels.is_empty()
             || !valid.contains(&m.to_label)
             || m.from_labels.iter().any(|l| !valid.contains(l))
@@ -82,11 +105,84 @@ pub fn verify_motions(func: &Function, fa: &FunctionAnalysis, log: &MotionLog) -
                 m.before,
             ),
         };
+        let before = diags.len();
         for &l in window.difference(&rewritten) {
             check_label(func, fa, m, l, &mut diags);
         }
+        if m.justification.is_some() && diags.len() > before {
+            // The binary rules rejected this window: the probability that
+            // unlocked the motion cannot override them.
+            diags.push(
+                Diagnostic::error(
+                    "ALP002",
+                    format!(
+                        "probability-justified motion for `{}` has a conflict in its \
+                         window that the binary rules detect; probabilities may weight \
+                         cost, never safety",
+                        func.var(m.base).name
+                    ),
+                )
+                .with_label(m.to_label, "motion anchored here")
+                .with_note(format!("motion: {m}")),
+            );
+        }
     }
     diags
+}
+
+/// Re-derives a motion's probabilistic justification (`ALP` codes).
+///
+/// The induction claim must be reproducible by
+/// [`find_pointer_inductions`] on the **pre-optimization** body — same
+/// loop, same pointer, same link field, same unique advance statement —
+/// and the recorded probability must be a probability.
+fn check_justification(
+    func: &Function,
+    inductions: &[PointerInduction],
+    m: &Motion,
+    j: &ProbJustification,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let base_name = &func.var(m.base).name;
+    if !(0.0..=1.0).contains(&j.prob) {
+        diags.push(
+            Diagnostic::error(
+                "ALP003",
+                format!(
+                    "induction justification for `{base_name}` carries probability \
+                     {} outside [0, 1]",
+                    j.prob
+                ),
+            )
+            .with_label(j.loop_label, "claimed loop")
+            .with_note(format!("motion: {m}")),
+        );
+    }
+    let confirmed = inductions.iter().any(|i| {
+        i.loop_label == j.loop_label
+            && i.var == m.base
+            && i.field == j.field
+            && i.advance_label == j.advance_label
+    });
+    if !confirmed {
+        diags.push(
+            Diagnostic::error(
+                "ALP001",
+                format!(
+                    "motion claims `{base_name}` is a pointer induction of loop {} \
+                     (advance at {}, link field f{}), but the recognizer finds no \
+                     such induction in the pre-optimization body",
+                    j.loop_label, j.advance_label, j.field.0
+                ),
+            )
+            .with_label(j.loop_label, "claimed loop")
+            .with_note(format!("motion: {m}"))
+            .with_note(
+                "an induction justification must be independently re-derivable; \
+                 a cost relaxation with a fabricated basis is rejected outright",
+            ),
+        );
+    }
 }
 
 /// Applies the kill predicates for motion `m` at window label `l`.

@@ -2,8 +2,9 @@
 //! every example program and Olden benchmark must verify cleanly, while
 //! hand-written unsound motions must be caught.
 
-use earth_commopt::{CommOptConfig, Motion, MotionKind, MotionLog};
-use earth_ir::{diag, FieldId, Label};
+use earth_analysis::find_pointer_inductions;
+use earth_commopt::{CommOptConfig, Motion, MotionKind, MotionLog, ProbJustification};
+use earth_ir::{diag, FieldId, Label, StmtKind};
 use earth_lint::{verify_motions, verify_program};
 
 fn compile(src: &str) -> earth_ir::Program {
@@ -172,6 +173,7 @@ fn unsound_motion_across_aliased_write_is_caught() {
             before: true,
             kind: MotionKind::PipelinedRead,
             reason: "deliberately unsound test motion".into(),
+            justification: None,
         }],
     };
     let violations = verify_motions(f, &fa, &log);
@@ -213,6 +215,7 @@ fn unsound_motion_across_base_redefinition_is_caught() {
             before: true,
             kind: MotionKind::RedundantReuse,
             reason: "deliberately unsound test motion".into(),
+            justification: None,
         }],
     };
     let violations = verify_motions(f, &fa, &log);
@@ -262,6 +265,7 @@ fn unsound_writeback_across_aliased_read_is_caught() {
             before: false,
             kind: MotionKind::BlockWriteback,
             reason: "deliberately unsound test motion".into(),
+            justification: None,
         }],
     };
     let violations = verify_motions(f, analysis.function(fid), &log);
@@ -293,10 +297,258 @@ fn malformed_motion_is_caught() {
             before: true,
             kind: MotionKind::PipelinedRead,
             reason: "labels do not exist".into(),
+            justification: None,
         }],
     };
     let violations = verify_motions(f, analysis.function(fid), &log);
     assert!(violations.iter().any(|d| d.code == "PLC005"));
+}
+
+/// Label of the first `while` loop in `f`.
+fn while_label(f: &earth_ir::Function) -> Label {
+    let mut found = None;
+    f.body.walk(&mut |s: &earth_ir::Stmt| {
+        if matches!(s.kind, StmtKind::While { .. }) && found.is_none() {
+            found = Some(s.label);
+        }
+    });
+    found.expect("a while loop")
+}
+
+#[test]
+fn fabricated_induction_justification_is_caught() {
+    // `p` is reassigned from a non-field source inside the loop, so the
+    // recognizer derives no induction — a motion claiming one is rejected.
+    let prog = compile(
+        r#"
+        struct node { node* next; double v; };
+        double sum(node *head, node *q) {
+            node *p;
+            double acc;
+            acc = 0.0;
+            p = head;
+            while (p != NULL) {
+                acc = acc + p->v;
+                p = q;
+            }
+            return acc;
+        }
+        "#,
+    );
+    let fid = prog.function_by_name("sum").unwrap();
+    let f = prog.function(fid);
+    let analysis = earth_analysis::analyze(&prog);
+    let fa = analysis.function(fid);
+    assert!(find_pointer_inductions(f, fa).is_empty());
+    let (loads, _) = loads_of(&prog, "sum", "p", FieldId(1));
+    assert_eq!(loads.len(), 1);
+    let log = MotionLog {
+        motions: vec![Motion {
+            base: f.var_by_name("p").unwrap(),
+            base_name: "p".into(),
+            field: None,
+            from_labels: [loads[0]].into(),
+            to_label: loads[0],
+            before: true,
+            kind: MotionKind::BlockRead,
+            reason: "fabricated induction justification".into(),
+            justification: Some(ProbJustification {
+                loop_label: while_label(f),
+                advance_label: loads[0],
+                field: FieldId(0),
+                prob: 0.9,
+            }),
+        }],
+    };
+    let violations = verify_motions(f, fa, &log);
+    assert!(
+        violations.iter().any(|d| d.code == "ALP001"),
+        "expected ALP001, got: {}",
+        diag::render_all(&violations)
+    );
+    // The probability itself is fine and the window is empty: only the
+    // fabricated claim is flagged.
+    assert!(!violations
+        .iter()
+        .any(|d| d.code == "ALP002" || d.code == "ALP003"));
+}
+
+#[test]
+fn probability_cannot_justify_a_binary_conflict() {
+    // The induction claim is *genuine* (the recognizer re-derives it), but
+    // the motion's window contains an aliased store the binary rules
+    // reject — the probability cannot override them.
+    let prog = compile(
+        r#"
+        struct node { node* next; double v; };
+        double sum(node *head) {
+            node *p;
+            node *q;
+            double acc;
+            acc = 0.0;
+            p = head;
+            q = head;
+            while (p != NULL) {
+                q->v = acc;
+                acc = acc + p->v;
+                p = p->next;
+            }
+            return acc;
+        }
+        "#,
+    );
+    let fid = prog.function_by_name("sum").unwrap();
+    let f = prog.function(fid);
+    let analysis = earth_analysis::analyze(&prog);
+    let fa = analysis.function(fid);
+    let inds = find_pointer_inductions(f, fa);
+    assert_eq!(inds.len(), 1, "p is a genuine induction");
+    let ind = inds[0];
+    let (loads, _) = loads_of(&prog, "sum", "p", FieldId(1));
+    assert_eq!(loads.len(), 1);
+    let q = f.var_by_name("q").unwrap();
+    let store = f
+        .basic_stmts()
+        .iter()
+        .find(|(_, s)| s.deref_access().is_some_and(|a| a.base == q && a.is_write))
+        .map(|(l, _)| *l)
+        .expect("the q->v store");
+    let log = MotionLog {
+        motions: vec![Motion {
+            base: f.var_by_name("p").unwrap(),
+            base_name: "p".into(),
+            field: None,
+            from_labels: [loads[0]].into(),
+            to_label: store,
+            before: true,
+            kind: MotionKind::BlockRead,
+            reason: "hoisted across an aliased store".into(),
+            justification: Some(ProbJustification {
+                loop_label: ind.loop_label,
+                advance_label: ind.advance_label,
+                field: ind.field,
+                prob: 0.97,
+            }),
+        }],
+    };
+    let violations = verify_motions(f, fa, &log);
+    assert!(
+        violations.iter().any(|d| d.code == "PLC002"),
+        "expected PLC002, got: {}",
+        diag::render_all(&violations)
+    );
+    assert!(
+        violations.iter().any(|d| d.code == "ALP002"),
+        "expected ALP002, got: {}",
+        diag::render_all(&violations)
+    );
+    assert!(!violations
+        .iter()
+        .any(|d| d.code == "ALP001" || d.code == "ALP003"));
+}
+
+#[test]
+fn out_of_range_probability_is_caught() {
+    let prog = compile(
+        r#"
+        struct node { node* next; double v; };
+        double sum(node *head) {
+            node *p;
+            double acc;
+            acc = 0.0;
+            p = head;
+            while (p != NULL) {
+                acc = acc + p->v;
+                p = p->next;
+            }
+            return acc;
+        }
+        "#,
+    );
+    let fid = prog.function_by_name("sum").unwrap();
+    let f = prog.function(fid);
+    let analysis = earth_analysis::analyze(&prog);
+    let fa = analysis.function(fid);
+    let inds = find_pointer_inductions(f, fa);
+    assert_eq!(inds.len(), 1);
+    let ind = inds[0];
+    let (loads, _) = loads_of(&prog, "sum", "p", FieldId(1));
+    let log = MotionLog {
+        motions: vec![Motion {
+            base: f.var_by_name("p").unwrap(),
+            base_name: "p".into(),
+            field: None,
+            from_labels: [loads[0]].into(),
+            to_label: loads[0],
+            before: true,
+            kind: MotionKind::BlockRead,
+            reason: "probability is not a probability".into(),
+            justification: Some(ProbJustification {
+                loop_label: ind.loop_label,
+                advance_label: ind.advance_label,
+                field: ind.field,
+                prob: 1.5,
+            }),
+        }],
+    };
+    let violations = verify_motions(f, fa, &log);
+    assert!(
+        violations.iter().any(|d| d.code == "ALP003"),
+        "expected ALP003, got: {}",
+        diag::render_all(&violations)
+    );
+    // The induction claim itself is genuine.
+    assert!(!violations.iter().any(|d| d.code == "ALP001"));
+}
+
+#[test]
+fn prob_alias_motions_verify_cleanly() {
+    // The optimizer's own prob-alias motions — induction-justified blkmovs
+    // included — must pass the validator on every example and Olden kernel.
+    let cfg = CommOptConfig {
+        alias: earth_commopt::AliasMode::Prob,
+        ..CommOptConfig::default()
+    };
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../programs");
+    for entry in std::fs::read_dir(dir).expect("programs directory") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ec") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let prog = compile(&src);
+        let violations = verify_program(&prog, &cfg);
+        assert!(
+            violations.is_empty(),
+            "{}: {}",
+            path.display(),
+            diag::render_all(&violations)
+        );
+    }
+    for bench in earth_olden::suite() {
+        let prog = compile(bench.source);
+        let violations = verify_program(&prog, &cfg);
+        assert!(
+            violations.is_empty(),
+            "{} (prob): {}",
+            bench.name,
+            diag::render_all(&violations)
+        );
+    }
+}
+
+#[test]
+fn every_emittable_code_is_documented() {
+    // Cross-check: each code this crate can emit resolves in the registry
+    // behind `earthcc lint --explain`.
+    for code in [
+        "PLC001", "PLC002", "PLC003", "PLC004", "PLC005", "ALP001", "ALP002", "ALP003", "PAR000",
+        "PAR001", "PAR002", "PAR003", "PAR004",
+    ] {
+        let doc = earth_ir::rules::lookup(code);
+        assert!(doc.is_some(), "{code} missing from earth_ir::rules");
+        assert!(!doc.unwrap().summary.is_empty());
+    }
 }
 
 #[test]
@@ -326,6 +578,7 @@ fn violations_round_trip_through_json() {
             before: true,
             kind: MotionKind::PipelinedRead,
             reason: "deliberately unsound test motion".into(),
+            justification: None,
         }],
     };
     let violations: Vec<_> = verify_motions(f, &fa, &log)

@@ -54,7 +54,7 @@
 pub mod passes;
 
 pub use passes::{
-    FieldReorderPass, InlinePass, LocalityPass, OptimizePass, PgoPass, RaceLintPass,
+    FieldReorderPass, InlinePass, LocalityPass, OptimizePass, PgoPass, ProbAliasPass, RaceLintPass,
     ValidateIrPass, VerifyPlacementPass,
 };
 

@@ -9,12 +9,13 @@
 //! | [`LocalityPass`] | transform | invalidates whole program when it upgraded |
 //! | [`VerifyPlacementPass`] | analysis consumer | reads the cache; aborts on violations |
 //! | [`RaceLintPass`] | analysis consumer | reads the cache; records verdicts |
+//! | [`ProbAliasPass`] | analysis consumer | reads the cache; surveys probabilistic facts |
 //! | [`OptimizePass`] | transform | reads the cache, then invalidates per changed [`FuncId`](earth_ir::FuncId) |
 //! | [`PgoPass`] | transform | [`OptimizePass`] under a measured [`ProfileDb`]; same discipline |
 //! | [`ValidateIrPass`] | check | pure; aborts on IR errors |
 
 use crate::{Pass, PassReport};
-use earth_analysis::AnalysisCache;
+use earth_analysis::{AnalysisCache, ProbFacts};
 use earth_commopt::{
     inline_functions, optimize_program_with, reorder_fields, CommOptConfig, InlineConfig,
     OptReport, SelectionStats,
@@ -206,6 +207,43 @@ impl Pass for RaceLintPass {
     }
 }
 
+/// Probabilistic alias + loop pointer-induction survey (prob-alias mode).
+///
+/// The optimizer recomputes [`ProbFacts`] per function from the shared
+/// cached analysis when it runs (facts are cheap relative to the points-to
+/// fixpoint the cache holds); this pass surfaces the same facts as pipeline
+/// counters *before* selection so timing reports and drivers can see what
+/// prob-alias mode has to work with: how many branches/loops received a
+/// likelihood annotation and how many loop pointer inductions were
+/// recognized. It mutates nothing and invalidates nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbAliasPass;
+
+impl Pass for ProbAliasPass {
+    fn name(&self) -> &'static str {
+        "prob-alias"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let analysis = cache.get(prog);
+        let mut annotated = 0u64;
+        let mut inductions = 0u64;
+        for (fid, f) in prog.iter_functions() {
+            let facts = ProbFacts::compute(f, analysis.function(fid), None);
+            annotated += facts.n_annotated() as u64;
+            inductions += facts.inductions().len() as u64;
+        }
+        report.counter("sites_annotated", annotated);
+        report.counter("inductions_found", inductions);
+        Ok(())
+    }
+}
+
 /// The paper's communication optimization (possible-placement analysis +
 /// selection + transformation), fanned out per function across scoped
 /// worker threads with a deterministic [`FuncId`](earth_ir::FuncId)-ordered
@@ -258,6 +296,7 @@ impl Pass for OptimizePass {
         report.counter("pipelined_reads", t.pipelined_reads as u64);
         report.counter("blocked_spans", t.blocked_spans as u64);
         report.counter("blocked_writebacks", t.blocked_writebacks as u64);
+        report.counter("induction_blocks", t.induction_blocks as u64);
         report.counter("reads_rewritten", t.reads_rewritten as u64);
         report.counter("writes_rewritten", t.writes_rewritten as u64);
         self.last = Some(opt);
@@ -348,6 +387,7 @@ impl Pass for PgoPass {
         report.counter("pipelined_reads", t.pipelined_reads as u64);
         report.counter("blocked_spans", t.blocked_spans as u64);
         report.counter("blocked_writebacks", t.blocked_writebacks as u64);
+        report.counter("induction_blocks", t.induction_blocks as u64);
         report.counter("reads_rewritten", t.reads_rewritten as u64);
         report.counter("writes_rewritten", t.writes_rewritten as u64);
         self.last = Some(opt);

@@ -2,17 +2,27 @@
 //!
 //! ```text
 //! earthcc run  prog.ec [--nodes N] [--no-opt] [--no-locality] [--verify-placement]
-//!                      [--workers N] [--timings] [--report-json] [--arg V]...
-//!                      [--profile-out FILE | --profile-in FILE]
+//!                      [--alias binary|prob] [--workers N] [--timings] [--report-json]
+//!                      [--arg V]... [--profile-out FILE | --profile-in FILE]
 //! earthcc pgo  prog.ec [--nodes N] [--workers N] [--arg V]...   # instrument, run, recompile
 //! earthcc dump prog.ec [--simple | --optimized] [--func NAME]
 //! earthcc stats prog.ec [--nodes N] [--arg V]...   # simple vs optimized
 //! earthcc lint prog.ec [--json]        # parallel-soundness linter
-//! earthcc verify prog.ec [--json]      # placement translation validator
+//! earthcc lint --explain <CODE|all>    # rule documentation (no input file)
+//! earthcc verify prog.ec [--json] [--alias binary|prob]
 //! ```
 //!
 //! `--lint` and `--verify-placement` are accepted as aliases for the `lint`
 //! and `verify` subcommands.
+//!
+//! `--alias prob` turns on the probabilistic alias mode: branch/loop
+//! likelihood heuristics (measured frequencies under PGO) weight the
+//! optimizer's cost model, and recognized loop pointer inductions may relax
+//! the blocking cost gate. Safety stays binary — `earthcc verify
+//! --alias prob` replays and independently re-checks every motion,
+//! including the `ALP` re-derivation of each probability-justified one.
+//! `earthcc lint --explain PLC002` (or any `IR`/`PAR`/`PLC`/`ALP` code)
+//! prints the rule's documentation; `--explain all` lists every rule.
 //!
 //! Compilation runs under the pass manager: every enabled pass (locality,
 //! placement verification, race lint, optimization, IR validation) shares
@@ -25,7 +35,7 @@
 //! back into the optimizer and prints the `pgo:` accounting line;
 //! `earthcc pgo` does both in one shot and compares static vs profiled.
 
-use earthc::earth_commopt::{optimize_program, CommOptConfig};
+use earthc::earth_commopt::{optimize_program, AliasMode, CommOptConfig};
 use earthc::earth_ir::{diag, pretty, Severity};
 use earthc::earth_serve::client::Client;
 use earthc::earth_serve::proto::{Arg, CompileOptions, Response};
@@ -35,7 +45,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]... [--profile-out FILE | --profile-in FILE]\n  earthcc pgo    <file.ec> [--nodes N] [--workers N] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc verify <file.ec> [--json]\n  earthcc serve  [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--spill DIR] [--deadline-ms N]\n  earthcc client <compile|run|pgo|lint|stats|ping|shutdown> [file.ec] --addr HOST:PORT [--nodes N] [--entry NAME] [--arg V]... [--no-opt] [--no-locality] [--use-profile] [--deadline-ms N]"
+        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--alias binary|prob] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]... [--profile-out FILE | --profile-in FILE]\n  earthcc pgo    <file.ec> [--nodes N] [--alias binary|prob] [--workers N] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--alias binary|prob] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--alias binary|prob] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc lint   --explain <CODE|all>\n  earthcc verify <file.ec> [--json] [--alias binary|prob]\n  earthcc serve  [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--spill DIR] [--deadline-ms N]\n  earthcc client <compile|run|pgo|lint|stats|ping|shutdown> [file.ec] --addr HOST:PORT [--nodes N] [--entry NAME] [--arg V]... [--no-opt] [--no-locality] [--use-profile] [--deadline-ms N]\n<file.ec> may be `olden:<name>` to target an embedded Olden kernel (power, tsp, health, perimeter, voronoi)"
     );
     ExitCode::from(2)
 }
@@ -71,6 +81,17 @@ struct Opts {
     addr: Option<String>,
     use_profile: bool,
     deadline_ms: Option<u64>,
+    alias: AliasMode,
+}
+
+impl Opts {
+    /// The optimizer configuration the parsed flags describe.
+    fn commopt_cfg(&self) -> CommOptConfig {
+        CommOptConfig {
+            alias: self.alias,
+            ..CommOptConfig::default()
+        }
+    }
 }
 
 fn parse_opts(rest: &[String], needs_file: bool) -> Result<Opts, String> {
@@ -94,6 +115,7 @@ fn parse_opts(rest: &[String], needs_file: bool) -> Result<Opts, String> {
         addr: None,
         use_profile: false,
         deadline_ms: None,
+        alias: AliasMode::Binary,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -137,6 +159,15 @@ fn parse_opts(rest: &[String], needs_file: bool) -> Result<Opts, String> {
                         .map_err(|_| "--deadline-ms needs an integer")?,
                 );
             }
+            "--alias" => {
+                o.alias = match it.next().ok_or("--alias needs a value")?.as_str() {
+                    "binary" => AliasMode::Binary,
+                    "prob" => AliasMode::Prob,
+                    other => {
+                        return Err(format!("--alias must be `binary` or `prob`, got `{other}`"))
+                    }
+                };
+            }
             "--entry" => o.entry = it.next().ok_or("--entry needs a value")?.clone(),
             "--func" => o.func = Some(it.next().ok_or("--func needs a value")?.clone()),
             "--arg" => {
@@ -161,9 +192,52 @@ fn parse_opts(rest: &[String], needs_file: bool) -> Result<Opts, String> {
     Ok(o)
 }
 
+/// Prints the documentation for one diagnostic code (or lists them all),
+/// sourced from the same registry the diagnostics are checked against.
+fn explain(code: &str) -> ExitCode {
+    use earthc::earth_ir::rules;
+    if code == "all" {
+        for r in rules::RULES {
+            println!("{}  {}", r.code, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    match rules::lookup(code) {
+        Some(r) => {
+            println!("{} — {}", r.code, r.summary);
+            println!();
+            println!("{}", r.detail);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: unknown diagnostic code `{code}` (try `--explain all`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Reads one source file, or reports the single-line diagnostic the
-/// CLI contract requires for unreadable paths.
+/// CLI contract requires for unreadable paths. The pseudo-path
+/// `olden:<name>` resolves to the embedded Olden kernel of that name, so
+/// sweeps (e.g. CI's validator run) can target the benchmark suite
+/// without materializing it on disk.
 fn read_source(path: &str) -> Result<String, ExitCode> {
+    if let Some(name) = path.strip_prefix("olden:") {
+        return match earthc::earth_olden::by_name(name) {
+            Some(b) => Ok(b.source.to_string()),
+            None => {
+                let known: Vec<&str> = earthc::earth_olden::suite()
+                    .iter()
+                    .map(|b| b.name)
+                    .collect();
+                eprintln!(
+                    "error: unknown Olden kernel `{name}` (known: {})",
+                    known.join(", ")
+                );
+                Err(ExitCode::FAILURE)
+            }
+        };
+    }
     std::fs::read_to_string(path).map_err(|e| {
         eprintln!("error: cannot read `{path}`: {e}");
         ExitCode::FAILURE
@@ -309,6 +383,16 @@ fn main() -> ExitCode {
             };
         }
         "client" => return client_cmd(rest),
+        "lint" => {
+            // `lint --explain CODE` documents a diagnostic; no input file.
+            if let Some(i) = rest.iter().position(|a| a == "--explain") {
+                let Some(code) = rest.get(i + 1) else {
+                    eprintln!("error: --explain needs a diagnostic code or `all`");
+                    return usage();
+                };
+                return explain(code);
+            }
+        }
         _ => {}
     }
     let opts = match parse_opts(rest, true) {
@@ -326,7 +410,7 @@ fn main() -> ExitCode {
         "run" => {
             let mut pipeline = Pipeline::new()
                 .nodes(opts.nodes)
-                .optimizer(opts.optimize.then(CommOptConfig::default))
+                .optimizer(opts.optimize.then(|| opts.commopt_cfg()))
                 .verify(opts.verify)
                 .locality(opts.locality)
                 .entry(opts.entry.clone());
@@ -413,7 +497,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let static_build = base.clone().optimizer(Some(CommOptConfig::default()));
+            let static_build = base.clone().optimizer(Some(opts.commopt_cfg()));
             let profiled_build = static_build
                 .clone()
                 .profile(Some(Arc::new(ProfileDb::new(profile.clone()))));
@@ -457,7 +541,7 @@ fn main() -> ExitCode {
                 }
             };
             if opts.dump_optimized {
-                optimize_program(&mut prog, &CommOptConfig::default());
+                optimize_program(&mut prog, &opts.commopt_cfg());
             }
             if opts.dump_fibers {
                 let analysis = earthc::earth_analysis::analyze(&prog);
@@ -488,7 +572,7 @@ fn main() -> ExitCode {
             let run = |optimize: bool| {
                 Pipeline::new()
                     .nodes(opts.nodes)
-                    .optimizer(optimize.then(CommOptConfig::default))
+                    .optimizer(optimize.then(|| opts.commopt_cfg()))
                     .locality(opts.locality)
                     .entry(opts.entry.clone())
                     .run_source(&src, &opts.args)
@@ -563,7 +647,7 @@ fn main() -> ExitCode {
             if opts.locality {
                 earthc::earth_analysis::infer_locality(&mut prog);
             }
-            let violations = earth_lint::verify_program(&prog, &CommOptConfig::default());
+            let violations = earth_lint::verify_program(&prog, &opts.commopt_cfg());
             if opts.json {
                 println!("{}", diag::to_json_array(&violations));
             } else if violations.is_empty() {

@@ -271,8 +271,10 @@ impl Pipeline {
     }
 
     /// Builds the pass pipeline this configuration describes, in order:
-    /// inline → field-reorder → locality → verify-placement → race-lint →
-    /// optimize → validate-ir (transform passes only when enabled; with a
+    /// inline → field-reorder → locality → prob-alias → verify-placement →
+    /// race-lint → optimize → validate-ir (transform passes only when
+    /// enabled; `prob-alias` only under
+    /// [`AliasMode::Prob`](earth_commopt::AliasMode); with a
     /// [`profile`](Self::profile) set, optimize runs as `pgo-optimize`).
     pub fn pass_manager(&self) -> PassManager {
         let mut pm = PassManager::new();
@@ -286,6 +288,11 @@ impl Pipeline {
             pm.register(earth_pass::LocalityPass);
         }
         if let Some(cfg) = &self.optimize {
+            if cfg.alias == earth_commopt::AliasMode::Prob {
+                // Survey pass: surfaces annotation/induction counts from the
+                // shared cached analysis before selection consumes the facts.
+                pm.register(earth_pass::ProbAliasPass);
+            }
             if self.verify {
                 pm.register(earth_pass::VerifyPlacementPass::new(cfg.clone()));
             }

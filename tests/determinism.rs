@@ -8,7 +8,9 @@
 //! and identical `SelectionStats`.
 
 use earthc::earth_analysis;
-use earthc::earth_commopt::{optimize_program_with, CommOptConfig, MotionLog, SelectionStats};
+use earthc::earth_commopt::{
+    optimize_program_with, AliasMode, CommOptConfig, MotionLog, SelectionStats,
+};
 use earthc::earth_ir::pretty;
 
 /// Paper worked examples (Figures 3, 4, and 8).
@@ -71,15 +73,24 @@ const PAPER_FIGURES: &[(&str, &str)] = &[
     ),
 ];
 
-/// Optimizes `src` with the given worker count; returns the printed IR,
-/// the per-function motion logs, and the summed selection counters.
-fn optimize_with_workers(src: &str, workers: usize) -> (String, Vec<MotionLog>, SelectionStats) {
+/// Optimizes `src` with the given config and worker count; returns the
+/// printed IR, the per-function motion logs, and the summed selection
+/// counters.
+fn optimize_with_workers_cfg(
+    src: &str,
+    cfg: &CommOptConfig,
+    workers: usize,
+) -> (String, Vec<MotionLog>, SelectionStats) {
     let mut prog = earthc::compile_earth_c(src).expect("compiles");
     earth_analysis::infer_locality(&mut prog);
     let analysis = earth_analysis::analyze(&prog);
-    let report = optimize_program_with(&mut prog, &CommOptConfig::default(), &analysis, workers);
+    let report = optimize_program_with(&mut prog, cfg, &analysis, workers);
     let motions = report.functions.iter().map(|f| f.motion.clone()).collect();
     (pretty::print_program(&prog), motions, report.total())
+}
+
+fn optimize_with_workers(src: &str, workers: usize) -> (String, Vec<MotionLog>, SelectionStats) {
+    optimize_with_workers_cfg(src, &CommOptConfig::default(), workers)
 }
 
 fn assert_deterministic(name: &str, src: &str) {
@@ -190,6 +201,98 @@ fn pgo_output_is_worker_invariant() {
                 bench.name
             );
         }
+    }
+}
+
+/// Prob-alias mode is worker-count-invariant too: the probability facts
+/// are recomputed per function from the IR alone, so distributing
+/// placement + selection across threads must not perturb them. Sweeps the
+/// sample programs and every Olden kernel; health must exercise the
+/// induction relaxation for real (non-zero `induction_blocks`).
+#[test]
+fn prob_alias_output_is_worker_invariant() {
+    let cfg = CommOptConfig {
+        alias: AliasMode::Prob,
+        ..CommOptConfig::default()
+    };
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/programs")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("ec") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            sources.push((path.display().to_string(), src));
+        }
+    }
+    for bench in earthc::earth_olden::suite() {
+        sources.push((bench.name.to_string(), bench.source.to_string()));
+    }
+    for (name, src) in &sources {
+        let (ir1, motions1, stats1) = optimize_with_workers_cfg(src, &cfg, 1);
+        if name == "health" {
+            assert!(
+                stats1.induction_blocks > 0,
+                "health: prob path not exercised"
+            );
+        }
+        for workers in [2usize, 8] {
+            let (ir_n, motions_n, stats_n) = optimize_with_workers_cfg(src, &cfg, workers);
+            assert_eq!(
+                ir1, ir_n,
+                "{name}: prob IR differs between 1 and {workers} workers"
+            );
+            assert_eq!(
+                motions1, motions_n,
+                "{name}: prob motion logs differ between 1 and {workers} workers"
+            );
+            assert_eq!(
+                stats1, stats_n,
+                "{name}: prob stats differ between 1 and {workers} workers"
+            );
+        }
+    }
+}
+
+/// Differential correctness of prob-alias mode: for every sample program
+/// and every Olden kernel, the prob-optimized build computes the same
+/// result as the unoptimized (`simple`) build.
+#[test]
+fn prob_optimized_matches_simple_results() {
+    use earthc::earth_olden::{by_name, run, Build, Preset};
+    use earthc::{Pipeline, Value};
+    let cfg = CommOptConfig {
+        alias: AliasMode::Prob,
+        ..CommOptConfig::default()
+    };
+    let programs: &[(&str, &[Value])] = &[
+        ("programs/count.ec", &[Value::Int(8)]),
+        ("programs/distance.ec", &[]),
+        ("programs/treesum.ec", &[Value::Int(4)]),
+    ];
+    for (path, args) in programs {
+        let src =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/").to_string() + path)
+                .unwrap();
+        let build = |cfg: Option<CommOptConfig>| {
+            Pipeline::new()
+                .nodes(4)
+                .optimizer(cfg)
+                .verify(true)
+                .run_source(&src, args)
+                .unwrap_or_else(|e| panic!("{path}: {e}"))
+        };
+        let simple = build(None);
+        let prob = build(Some(cfg.clone()));
+        assert_eq!(simple.ret, prob.ret, "{path}: prob build changed result");
+    }
+    for bench in earthc::earth_olden::suite() {
+        let bench = by_name(bench.name).unwrap();
+        let simple = run(&bench, &Build::Simple, Preset::Test, 2).expect("simple run");
+        let prob = run(&bench, &Build::Optimized(cfg.clone()), Preset::Test, 2).expect("prob run");
+        assert_eq!(
+            simple.ret, prob.ret,
+            "{}: prob build changed result",
+            bench.name
+        );
     }
 }
 

@@ -1,0 +1,198 @@
+//! Property-based tests of the probabilistic alias layer:
+//!
+//! 1. the loop pointer-induction recognizer never fires for a pointer that
+//!    is reassigned from a non-field source anywhere in the loop body (and
+//!    always fires for the clean single-advance walk), and
+//! 2. prob-alias facts with every probability forced to {0, 1} drive the
+//!    optimizer to byte-identical IR and motion logs as the binary
+//!    analysis — probabilities degrade gracefully to the classical
+//!    pipeline, they never change what is *expressible*.
+
+use earthc::earth_analysis::{find_pointer_inductions, ProbFacts};
+use earthc::earth_commopt::{
+    analyze_placement, analyze_placement_with, apply_plan, select, select_with, CommOptConfig,
+    FuncProfile,
+};
+use earthc::earth_ir::pretty;
+
+/// One statement of a generated single-loop walk body.
+#[derive(Debug, Clone, Copy)]
+enum LoopStmt {
+    /// `acc = acc + p-><f>;`
+    Read(u8),
+    /// `p-><f> = acc;`
+    Write(u8),
+    /// `p = p->next;` — the legitimate advance.
+    Advance,
+    /// `p = q;` — a non-field reassignment that must disqualify `p`.
+    Poison,
+}
+
+fn loop_source(body: &[LoopStmt]) -> String {
+    let field = |i: u8| ["a", "b"][(i % 2) as usize];
+    let mut stmts = String::new();
+    for s in body {
+        match s {
+            LoopStmt::Read(f) => {
+                stmts.push_str(&format!("        acc = acc + p->{};\n", field(*f)))
+            }
+            LoopStmt::Write(f) => stmts.push_str(&format!("        p->{} = acc;\n", field(*f))),
+            LoopStmt::Advance => stmts.push_str("        p = p->next;\n"),
+            LoopStmt::Poison => stmts.push_str("        p = q;\n"),
+        }
+    }
+    format!(
+        r#"
+struct S {{ S* next; int a; int b; }};
+int walk(S *head, S *q) {{
+    S *p;
+    int acc;
+    int i;
+    acc = 0;
+    i = 0;
+    p = head;
+    while (i < 10) {{
+{stmts}        i = i + 1;
+    }}
+    return acc;
+}}
+"#
+    )
+}
+
+#[test]
+fn recognizer_never_fires_on_non_field_reassignment() {
+    earth_qcheck::cases(200, |rng| {
+        let n = 1 + rng.index(5);
+        let body: Vec<LoopStmt> = (0..n)
+            .map(|_| match rng.index(4) {
+                0 => LoopStmt::Read(rng.u8()),
+                1 => LoopStmt::Write(rng.u8()),
+                2 => LoopStmt::Advance,
+                _ => LoopStmt::Poison,
+            })
+            .collect();
+        let advances = body
+            .iter()
+            .filter(|s| matches!(s, LoopStmt::Advance))
+            .count();
+        let poisons = body
+            .iter()
+            .filter(|s| matches!(s, LoopStmt::Poison))
+            .count();
+        let src = loop_source(&body);
+        let prog = earthc::compile_earth_c(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let analysis = earthc::earth_analysis::analyze(&prog);
+        let fid = prog.function_by_name("walk").unwrap();
+        let f = prog.function(fid);
+        let p = f.var_by_name("p").unwrap();
+        let found = find_pointer_inductions(f, analysis.function(fid));
+        let p_inductions = found.iter().filter(|i| i.var == p).count();
+        if poisons > 0 || advances != 1 {
+            assert_eq!(
+                p_inductions, 0,
+                "recognizer fired on a reassigned/multi-advance pointer:\n{src}"
+            );
+        } else {
+            assert_eq!(p_inductions, 1, "clean single advance missed:\n{src}");
+        }
+    });
+}
+
+#[test]
+fn forced_binary_probabilities_reproduce_binary_pipeline() {
+    earth_qcheck::cases(120, |rng| {
+        // Random mix including clean walks where prob mode WOULD act if the
+        // probabilities were fractional.
+        let n = 1 + rng.index(5);
+        let body: Vec<LoopStmt> = (0..n)
+            .map(|_| match rng.index(8) {
+                0..=2 => LoopStmt::Read(rng.u8()),
+                3 | 4 => LoopStmt::Write(rng.u8()),
+                5 | 6 => LoopStmt::Advance,
+                _ => LoopStmt::Poison,
+            })
+            .collect();
+        let src = loop_source(&body);
+        let prog = earthc::compile_earth_c(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let analysis = earthc::earth_analysis::analyze(&prog);
+        let cfg = CommOptConfig::default();
+        let fid = prog.function_by_name("walk").unwrap();
+        let fa = analysis.function(fid);
+
+        // Binary pipeline.
+        let mut f_bin = prog.function(fid).clone();
+        let placement_bin = analyze_placement(&f_bin, fa, &cfg.freq);
+        let plan_bin = select(&prog, &mut f_bin, fa, &placement_bin, &cfg);
+        apply_plan(&mut f_bin, &plan_bin);
+
+        // Prob pipeline, facts forced to {0, 1}.
+        let mut f_prob = prog.function(fid).clone();
+        let forced = ProbFacts::compute(&f_prob, fa, None).force_binary();
+        let placement_prob =
+            analyze_placement_with(&f_prob, fa, &cfg.freq, None::<&FuncProfile>, Some(&forced));
+        let plan_prob = select_with(
+            &prog,
+            &mut f_prob,
+            fa,
+            &placement_prob,
+            &cfg,
+            None,
+            Some(&forced),
+        );
+        apply_plan(&mut f_prob, &plan_prob);
+
+        assert_eq!(
+            plan_bin.motion, plan_prob.motion,
+            "motion logs diverged under forced-binary facts:\n{src}"
+        );
+        let render = |f: &earthc::earth_ir::Function| {
+            let mut p2 = prog.clone();
+            *p2.function_mut(fid) = f.clone();
+            pretty::print_function_default(&p2, fid)
+        };
+        assert_eq!(
+            render(&f_bin),
+            render(&f_prob),
+            "IR diverged under forced-binary facts:\n{src}"
+        );
+    });
+}
+
+/// The complement of the degeneration property: with its *fractional*
+/// heuristic probabilities intact, prob-alias mode does act on the clean
+/// null-tested walk (sanity that the force_binary test is not vacuous).
+#[test]
+fn fractional_probabilities_do_act_on_clean_walk() {
+    // Two-word span: below the static blocking threshold of three, so only
+    // the induction relaxation can block it.
+    let src = r#"
+struct S { S* next; int a; };
+int walk(S *head) {
+    S *p;
+    int acc;
+    acc = 0;
+    p = head;
+    while (p != NULL) {
+        acc = acc + p->a;
+        p = p->next;
+    }
+    return acc;
+}
+"#;
+    let prog = earthc::compile_earth_c(src).unwrap();
+    let analysis = earthc::earth_analysis::analyze(&prog);
+    let cfg = CommOptConfig::default();
+    let fid = prog.function_by_name("walk").unwrap();
+    let fa = analysis.function(fid);
+    let mut f = prog.function(fid).clone();
+    let facts = ProbFacts::compute(&f, fa, None);
+    let placement = analyze_placement_with(&f, fa, &cfg.freq, None::<&FuncProfile>, Some(&facts));
+    let plan = select_with(&prog, &mut f, fa, &placement, &cfg, None, Some(&facts));
+    assert!(
+        plan.stats.induction_blocks > 0,
+        "expected the induction relaxation to fire: {:?}",
+        plan.stats
+    );
+    assert!(plan.motion.iter().any(|m| m.justification.is_some()));
+}

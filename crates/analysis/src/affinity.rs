@@ -1,0 +1,405 @@
+//! Node-affinity analysis: pointer variables whose targets provably live
+//! on the node executing the enclosing function.
+//!
+//! This is the *owner-confined* half of the escape machinery (see
+//! [`escape`](crate::escape) for the region half). It generalizes the two
+//! locality-inference rules of `locality.rs` into one whole-program least
+//! fixpoint over "provably local" pointer variables:
+//!
+//! * a plain `malloc` (no `@ on` clause) allocates on the executing node;
+//! * `NULL` and copies of provably-local pointers stay provably local;
+//! * a parameter is provably local when **every** call site either binds it
+//!   as the owner anchor of the call's own placement — `g(p) @ OWNER_OF(p)`
+//!   runs `g` on the node owning `*p`, so `p` is local *inside* `g` — or is
+//!   an **unplaced** call (which executes synchronously on the caller's
+//!   node) passing a pointer that is provably local in the caller;
+//! * the result of an unplaced call is provably local when every `return`
+//!   of the callee returns a provably-local pointer (or `NULL`).
+//!
+//! Any other definition (a load `p = q->f`, a placed call result, a
+//! `malloc_on`) is opaque and disqualifies the variable; so does a function
+//! with no visible call sites (its callers are unknown). The fixpoint only
+//! ever *adds* variables, so it terminates and is conservative.
+//!
+//! Unlike `locality.rs`, which mutates `VarDecl::locality` as a standalone
+//! pass, this module only *computes*; the escape analysis turns its verdicts
+//! into [`EscapeJustification`](crate::escape::EscapeJustification)s that
+//! the optimizer applies and `earth-lint` independently re-derives (ESC003).
+
+use earth_ir::{AtTarget, FuncId, Function, Locality, Operand, Place, Program, Rvalue, StmtKind};
+use earth_ir::{Basic, VarId};
+use std::collections::BTreeSet;
+
+/// Per-function sets of provably-local pointer variables.
+#[derive(Debug, Clone)]
+pub struct AffinityLocals {
+    per_func: Vec<BTreeSet<VarId>>,
+}
+
+impl AffinityLocals {
+    /// A result with no verdicts for a program of `n` functions (the
+    /// escape analysis' forced-`Shared` baseline).
+    pub fn empty(n: usize) -> AffinityLocals {
+        AffinityLocals {
+            per_func: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Whether `v` (in function `fid`) is provably local.
+    pub fn is_local(&self, fid: FuncId, v: VarId) -> bool {
+        self.per_func[fid.index()].contains(&v)
+    }
+
+    /// The provably-local set of one function.
+    pub fn locals(&self, fid: FuncId) -> &BTreeSet<VarId> {
+        &self.per_func[fid.index()]
+    }
+}
+
+/// One call site of some callee, seen from the caller's side.
+#[derive(Debug, Clone)]
+struct CallSite {
+    caller: FuncId,
+    args: Vec<Operand>,
+    at: Option<AtTarget>,
+}
+
+/// How a pointer variable is defined at one assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DefSrc {
+    /// `p = q` — local iff `q` is.
+    CopyOf(VarId),
+    /// `p = malloc(sizeof(S))` with no placement — allocates here.
+    LocalMalloc,
+    /// `p = NULL` (or another constant).
+    Konst,
+    /// `p = g(...)` with no `@` — local iff every return of `g` is.
+    UnplacedCallTo(FuncId),
+    /// Anything else: load, placed call, `malloc_on`, builtin, ...
+    Opaque,
+}
+
+fn collect_defs(f: &Function) -> Vec<Vec<DefSrc>> {
+    let mut defs: Vec<Vec<DefSrc>> = vec![Vec::new(); f.vars().len()];
+    f.body.walk(&mut |s| {
+        let StmtKind::Basic(b) = &s.kind else { return };
+        match b {
+            Basic::Assign {
+                dst: Place::Var(d),
+                src,
+            } if f.var(*d).ty.is_ptr() => {
+                let src = match src {
+                    Rvalue::Use(Operand::Var(q)) => DefSrc::CopyOf(*q),
+                    Rvalue::Use(Operand::Const(_)) => DefSrc::Konst,
+                    Rvalue::Malloc { on: None, .. } => DefSrc::LocalMalloc,
+                    _ => DefSrc::Opaque,
+                };
+                defs[d.index()].push(src);
+            }
+            Basic::Call {
+                dst: Some(d),
+                func,
+                at,
+                ..
+            } if f.var(*d).ty.is_ptr() => {
+                defs[d.index()].push(match at {
+                    None => DefSrc::UnplacedCallTo(*func),
+                    Some(_) => DefSrc::Opaque,
+                });
+            }
+            _ => {}
+        }
+    });
+    defs
+}
+
+fn collect_call_sites(prog: &Program) -> Vec<Vec<CallSite>> {
+    let mut sites: Vec<Vec<CallSite>> = vec![Vec::new(); prog.functions().len()];
+    for (caller, f) in prog.iter_functions() {
+        f.body.walk(&mut |s| {
+            if let StmtKind::Basic(Basic::Call { func, args, at, .. }) = &s.kind {
+                sites[func.index()].push(CallSite {
+                    caller,
+                    args: args.clone(),
+                    at: *at,
+                });
+            }
+        });
+    }
+    sites
+}
+
+/// Every `return` payload of `f` (`None` entries are bare `return;`).
+fn collect_returns(f: &Function) -> Vec<Option<Operand>> {
+    let mut out = Vec::new();
+    f.body.walk(&mut |s| {
+        if let StmtKind::Basic(Basic::Return(op)) = &s.kind {
+            out.push(*op);
+        }
+    });
+    out
+}
+
+/// Does call site `site` keep parameter `i` of `callee` node-local?
+fn site_binds_param_local(site: &CallSite, i: usize, locals: &[BTreeSet<VarId>]) -> bool {
+    match (&site.at, site.args.get(i)) {
+        // g(p, ...) @ OWNER_OF(p): the callee runs on the node owning *p.
+        (Some(AtTarget::OwnerOf(o)), Some(Operand::Var(a))) => a == o,
+        // Unplaced call: runs on the caller's node; the argument must be
+        // provably local *there* (or NULL).
+        (None, Some(Operand::Var(a))) => locals[site.caller.index()].contains(a),
+        (None, Some(Operand::Const(_))) => true,
+        _ => false,
+    }
+}
+
+/// Computes the provably-local sets for the whole program.
+pub fn compute(prog: &Program) -> AffinityLocals {
+    let n = prog.functions().len();
+    let mut locals: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+
+    // Seed: source-declared (or previously inferred) `local` pointers.
+    for (fid, f) in prog.iter_functions() {
+        for (v, decl) in f.iter_vars() {
+            if decl.ty.is_ptr() && decl.locality == Locality::Local {
+                locals[fid.index()].insert(v);
+            }
+        }
+    }
+
+    let defs: Vec<Vec<Vec<DefSrc>>> = prog.functions().iter().map(collect_defs).collect();
+    let sites = collect_call_sites(prog);
+    let returns: Vec<Vec<Option<Operand>>> = prog.functions().iter().map(collect_returns).collect();
+
+    // Least fixpoint: only ever adds variables, so it terminates.
+    loop {
+        let mut changed = false;
+        for (fid, f) in prog.iter_functions() {
+            for (v, decl) in f.iter_vars() {
+                if !decl.ty.is_ptr() || locals[fid.index()].contains(&v) {
+                    continue;
+                }
+                let def_ok = |d: &DefSrc| match d {
+                    DefSrc::CopyOf(q) => locals[fid.index()].contains(q),
+                    DefSrc::LocalMalloc | DefSrc::Konst => true,
+                    DefSrc::UnplacedCallTo(g) => {
+                        let rets = &returns[g.index()];
+                        !rets.is_empty()
+                            && rets.iter().all(|r| match r {
+                                Some(Operand::Var(rv)) => locals[g.index()].contains(rv),
+                                Some(Operand::Const(_)) => true,
+                                None => false,
+                            })
+                    }
+                    DefSrc::Opaque => false,
+                };
+                let vdefs = &defs[fid.index()][v.index()];
+                let ok = if let Some(i) = f.params.iter().position(|&p| p == v) {
+                    // A parameter: every visible call site must bind it
+                    // locally, and any reassignment must preserve locality.
+                    let fsites = &sites[fid.index()];
+                    !fsites.is_empty()
+                        && fsites.iter().all(|s| site_binds_param_local(s, i, &locals))
+                        && vdefs.iter().all(def_ok)
+                } else {
+                    // An ordinary variable: needs at least one definition,
+                    // all of them locality-preserving.
+                    !vdefs.is_empty() && vdefs.iter().all(def_ok)
+                };
+                if ok {
+                    locals[fid.index()].insert(v);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    AffinityLocals { per_func: locals }
+}
+
+/// Re-checks the call-site half of the owner-confined rule for parameter
+/// `i` of `callee` — the independent re-derivation behind lint rule ESC003.
+pub fn param_owner_bound(
+    prog: &Program,
+    locals: &AffinityLocals,
+    callee: FuncId,
+    i: usize,
+) -> bool {
+    let sites = collect_call_sites(prog);
+    let fsites = &sites[callee.index()];
+    !fsites.is_empty()
+        && fsites
+            .iter()
+            .all(|s| site_binds_param_local(s, i, &locals.per_func))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_frontend::compile;
+
+    fn locals_of(src: &str, func: &str) -> (Program, FuncId, AffinityLocals) {
+        let prog = compile(src).unwrap();
+        let fid = prog.function_by_name(func).unwrap();
+        let locals = compute(&prog);
+        (prog, fid, locals)
+    }
+
+    #[test]
+    fn owner_bound_param_is_local() {
+        let (prog, fid, locals) = locals_of(
+            r#"
+            struct N { N* next; int v; };
+            int peek(N *p) { return p->v; }
+            int drive(N *p) {
+                int t;
+                t = peek(p) @ OWNER_OF(p);
+                return t;
+            }
+        "#,
+            "peek",
+        );
+        let p = prog.function(fid).var_by_name("p").unwrap();
+        assert!(locals.is_local(fid, p));
+        // drive's own param has no visible call site: unknown callers.
+        let drive = prog.function_by_name("drive").unwrap();
+        let dp = prog.function(drive).var_by_name("p").unwrap();
+        assert!(!locals.is_local(drive, dp));
+    }
+
+    #[test]
+    fn mixed_sites_need_local_args_at_unplaced_calls() {
+        let (prog, fid, locals) = locals_of(
+            r#"
+            struct N { N* next; int v; };
+            int peek(N *p) { return p->v; }
+            int drive(N *q) {
+                N *m;
+                int a;
+                int b;
+                m = malloc(sizeof(N));
+                a = peek(m);
+                b = peek(q) @ OWNER_OF(q);
+                return a + b;
+            }
+        "#,
+            "peek",
+        );
+        let p = prog.function(fid).var_by_name("p").unwrap();
+        // Both sites qualify: unplaced-with-local-malloc and owner-bound.
+        assert!(locals.is_local(fid, p));
+    }
+
+    #[test]
+    fn non_owner_placement_disqualifies() {
+        let (prog, fid, locals) = locals_of(
+            r#"
+            struct N { N* next; int v; };
+            int peek(N *p) { return p->v; }
+            int drive(N *q) {
+                int t;
+                t = peek(q) @ 1;
+                return t;
+            }
+        "#,
+            "peek",
+        );
+        let p = prog.function(fid).var_by_name("p").unwrap();
+        assert!(!locals.is_local(fid, p));
+    }
+
+    #[test]
+    fn load_argument_at_unplaced_call_disqualifies() {
+        let (prog, fid, locals) = locals_of(
+            r#"
+            struct N { N* next; int v; };
+            int peek(N *p) { return p->v; }
+            int drive(N *q) {
+                N *c;
+                int t;
+                c = q->next;
+                t = peek(c);
+                return t;
+            }
+        "#,
+            "peek",
+        );
+        let p = prog.function(fid).var_by_name("p").unwrap();
+        assert!(!locals.is_local(fid, p));
+    }
+
+    #[test]
+    fn returns_local_flows_through_unplaced_calls() {
+        let (prog, fid, locals) = locals_of(
+            r#"
+            struct N { N* next; int v; };
+            N* mk() {
+                N *n;
+                n = malloc(sizeof(N));
+                return n;
+            }
+            int use() {
+                N *r;
+                r = mk();
+                return r->v;
+            }
+        "#,
+            "use",
+        );
+        let r = prog.function(fid).var_by_name("r").unwrap();
+        assert!(locals.is_local(fid, r));
+    }
+
+    #[test]
+    fn placed_call_result_and_malloc_on_are_opaque() {
+        let (prog, fid, locals) = locals_of(
+            r#"
+            struct N { N* next; int v; };
+            N* mk() {
+                N *n;
+                n = malloc(sizeof(N));
+                return n;
+            }
+            int use() {
+                N *far;
+                N *m;
+                far = mk() @ 1;
+                m = malloc_on(1, sizeof(N));
+                return far->v + m->v;
+            }
+        "#,
+            "use",
+        );
+        let f = prog.function(fid);
+        assert!(!locals.is_local(fid, f.var_by_name("far").unwrap()));
+        assert!(!locals.is_local(fid, f.var_by_name("m").unwrap()));
+    }
+
+    #[test]
+    fn reassigned_param_must_stay_local() {
+        let (prog, fid, locals) = locals_of(
+            r#"
+            struct N { N* next; int v; };
+            int hop(N *p) {
+                int a;
+                a = p->v;
+                p = p->next;
+                return a + p->v;
+            }
+            int drive(N *q) {
+                int t;
+                t = hop(q) @ OWNER_OF(q);
+                return t;
+            }
+        "#,
+            "hop",
+        );
+        // Every call site is owner-bound, but `p = p->next` re-points the
+        // parameter at a possibly-remote node: it must not be upgraded.
+        let p = prog.function(fid).var_by_name("p").unwrap();
+        assert!(!locals.is_local(fid, p));
+    }
+}

@@ -1,0 +1,782 @@
+//! Whole-program escape analysis: allocation-site-based heap regions,
+//! classified on a three-point lattice.
+//!
+//! The communication optimizer assumes every pointer dereference is remote
+//! unless the variable is declared (or inferred) `local`, and the Zhu &
+//! Hendren locality inference deliberately refuses to look through loads: a
+//! cursor `p = q->next` can never become local, so owner-confined linked
+//! structures pay split-phase communication on every hop. This module
+//! proves the stronger property at *region* granularity:
+//!
+//! * **`NodeLocal`** — every allocation in the region is a plain `malloc`
+//!   (which allocates on the executing node) and the region never crosses a
+//!   *placed* call boundary, a `forall`/ParSeq arm, or a shared variable.
+//!   All data in the region lives and dies on the node of the synchronous
+//!   call subtree that allocated it, so **every** pointer into it —
+//!   including load-derived cursors — may be dereferenced locally.
+//! * **`OwnerConfined`** — the region itself may span nodes, but a specific
+//!   variable (typically an `@ OWNER_OF(p)`-bound parameter) provably
+//!   points at data owned by the executing node; see
+//!   [`affinity`](crate::affinity).
+//! * **`Shared`** — everything else: `malloc_on`, placed-call crossings,
+//!   `forall` distribution, ParSeq arms, shared globals, unknown callers.
+//!
+//! Regions are built with the same union-find that powers the connection
+//! analysis in [`effects`](crate::effects), lifted to a single
+//! whole-program partition over `(FuncId, VarId)`: copies, loads, stores
+//! and block moves unify within a function, and call sites unify arguments
+//! with callee parameters and destinations with callee returns (the
+//! caller-visible [`Summary`](crate::effects::Summary) merges and return
+//! roots are applied too, keeping parity with the per-function analysis).
+//!
+//! The taint argument for `NodeLocal` is compositional: an unplaced call
+//! executes synchronously on the caller's node, so a region that only ever
+//! crosses unplaced call boundaries stays inside one same-node call
+//! subtree per dynamic invocation. A region that crosses any *placed* call
+//! site — through an argument, destination, callee parameter or callee
+//! return — is tainted `Shared`, as is anything reachable from `malloc_on`,
+//! shared variables, parallel constructs, or the parameters of a function
+//! with no visible callers.
+//!
+//! Every upgrade the optimizer performs on the back of these verdicts is
+//! recorded as an [`EscapeJustification`] in the `MotionLog`, and
+//! `earth-lint` re-derives each one from pre-optimization IR (rules
+//! ESC001–ESC003). The simulator's wrong-locality abort is the runtime
+//! backstop for any unsound upgrade.
+
+use crate::affinity::{self, AffinityLocals};
+use crate::effects::{Root, Summary};
+use crate::uf::UnionFind;
+use earth_ir::{
+    AtTarget, Basic, FuncId, Function, Locality, Operand, Place, Program, Rvalue, Stmt, StmtKind,
+    VarId,
+};
+use std::fmt;
+
+/// Region/variable classification on the escape lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeVerdict {
+    /// Allocated and dereferenced only on the allocating node.
+    NodeLocal,
+    /// Dereferenced only under a placement that provably targets the
+    /// owner's node (or synchronously with a caller-local pointer).
+    OwnerConfined,
+    /// May escape the allocating node.
+    Shared,
+}
+
+impl fmt::Display for EscapeVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EscapeVerdict::NodeLocal => write!(f, "node-local"),
+            EscapeVerdict::OwnerConfined => write!(f, "owner-confined"),
+            EscapeVerdict::Shared => write!(f, "shared"),
+        }
+    }
+}
+
+/// Why the optimizer compiled a pointer's dereferences as plain local
+/// operations. Recorded in the `MotionLog`; independently re-derived by
+/// `earth-lint` (ESC001–ESC003).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EscapeJustification {
+    /// The upgraded variable.
+    pub var: VarId,
+    /// Its source name, for human-readable logs.
+    pub var_name: String,
+    /// The verdict that licensed the upgrade.
+    pub verdict: EscapeVerdict,
+    /// For owner-confined *parameters*: the parameter index whose call
+    /// sites the validator re-checks against the owner-binding rule.
+    pub param_index: Option<usize>,
+}
+
+impl fmt::Display for EscapeJustification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} `{}` proven {}",
+            self.var, self.var_name, self.verdict
+        )?;
+        if let Some(i) = self.param_index {
+            write!(f, " (param {i} owner-bound at every call site)")?;
+        }
+        Ok(())
+    }
+}
+
+/// The whole-program escape analysis result.
+#[derive(Debug, Clone)]
+pub struct EscapeAnalysis {
+    /// Per-function offsets into the global variable index space.
+    offsets: Vec<usize>,
+    /// Final class representative of each global variable index.
+    rep: Vec<usize>,
+    /// Indexed by representative: region proven `NodeLocal`.
+    node_local: Vec<bool>,
+    /// Owner-confined (provably node-local) variables per function.
+    affinity: AffinityLocals,
+    /// Locality upgrades per function, ordered by variable id.
+    upgrades: Vec<Vec<EscapeJustification>>,
+    /// Number of distinct pointer regions proven `NodeLocal`.
+    pub regions_node_local: usize,
+    /// Number of distinct pointer regions classified `Shared`.
+    pub regions_shared: usize,
+}
+
+impl EscapeAnalysis {
+    /// Runs the analysis over the whole program. `summaries` must come from
+    /// [`analyze_effects`](crate::effects::analyze_effects) on the same
+    /// program.
+    pub fn compute(prog: &Program, summaries: &[Summary]) -> EscapeAnalysis {
+        Self::build(prog, summaries, false)
+    }
+
+    /// Baseline hook for the qcheck ablation: every region is forced to
+    /// `Shared` and no upgrades are produced, so applying the result must
+    /// reproduce the unoptimized-escape pipeline byte for byte.
+    pub fn forced_shared(prog: &Program, summaries: &[Summary]) -> EscapeAnalysis {
+        Self::build(prog, summaries, true)
+    }
+
+    fn build(prog: &Program, summaries: &[Summary], force_shared: bool) -> EscapeAnalysis {
+        let funcs = prog.functions();
+        let mut offsets = Vec::with_capacity(funcs.len());
+        let mut total = 0usize;
+        for f in funcs {
+            offsets.push(total);
+            total += f.vars().len();
+        }
+        let mut uf = UnionFind::new(total);
+
+        // Pointer return variables (and whether any `return` is bare or
+        // constant) per function, for dst↔return unification.
+        let ret_vars: Vec<Vec<VarId>> = funcs
+            .iter()
+            .map(|f| {
+                let mut out = Vec::new();
+                f.body.walk(&mut |s| {
+                    if let StmtKind::Basic(Basic::Return(Some(Operand::Var(v)))) = &s.kind {
+                        if f.var(*v).ty.is_ptr() {
+                            out.push(*v);
+                        }
+                    }
+                });
+                out
+            })
+            .collect();
+
+        // Call-site count per callee (a function with none has unknown
+        // callers; its pointer parameters are tainted below).
+        let mut n_sites = vec![0usize; funcs.len()];
+
+        // --- Unification ---------------------------------------------------
+        for (fid, f) in prog.iter_functions() {
+            let base = offsets[fid.index()];
+            let is_ptr = |v: VarId| f.var(v).ty.is_ptr();
+            f.body.walk(&mut |s: &Stmt| {
+                let StmtKind::Basic(b) = &s.kind else { return };
+                match b {
+                    Basic::Assign { dst, src } => match (dst, src) {
+                        (Place::Var(d), Rvalue::Use(Operand::Var(q)))
+                            if is_ptr(*d) && is_ptr(*q) =>
+                        {
+                            uf.union(base + d.index(), base + q.index());
+                        }
+                        // Loads pull the destination into the base's region
+                        // (everything reachable from one pointer is one
+                        // region — this is what lets verdicts flow
+                        // *through* loads).
+                        (Place::Var(d), Rvalue::Load(m)) if is_ptr(*d) => {
+                            uf.union(base + d.index(), base + m.base().index());
+                        }
+                        (Place::Mem(m), Rvalue::Use(Operand::Var(q))) if is_ptr(*q) => {
+                            uf.union(base + m.base().index(), base + q.index());
+                        }
+                        _ => {}
+                    },
+                    Basic::BlkMov { ptr, buf, .. } => {
+                        uf.union(base + ptr.index(), base + buf.index());
+                    }
+                    Basic::Call {
+                        dst, func, args, ..
+                    } => {
+                        n_sites[func.index()] += 1;
+                        let callee = prog.function(*func);
+                        let cbase = offsets[func.index()];
+                        for (i, a) in args.iter().enumerate() {
+                            if let (Operand::Var(v), Some(&p)) = (a, callee.params.get(i)) {
+                                if is_ptr(*v) && callee.var(p).ty.is_ptr() {
+                                    uf.union(base + v.index(), cbase + p.index());
+                                }
+                            }
+                        }
+                        if let Some(d) = dst {
+                            if is_ptr(*d) {
+                                for &r in &ret_vars[func.index()] {
+                                    uf.union(base + d.index(), cbase + r.index());
+                                }
+                            }
+                        }
+                        // Caller-visible summary effects (redundant with the
+                        // direct bindings above, kept for parity with the
+                        // per-function connection analysis).
+                        let sum = &summaries[func.index()];
+                        for &(i, j) in &sum.merges {
+                            if let (Some(Operand::Var(a)), Some(Operand::Var(b))) =
+                                (args.get(i).copied(), args.get(j).copied())
+                            {
+                                if is_ptr(a) && is_ptr(b) {
+                                    uf.union(base + a.index(), base + b.index());
+                                }
+                            }
+                        }
+                        if let Some(d) = dst {
+                            if is_ptr(*d) {
+                                for &root in &sum.ret_roots {
+                                    if let Root::Param(i) = root {
+                                        if let Some(Operand::Var(a)) = args.get(i).copied() {
+                                            if is_ptr(a) {
+                                                uf.union(base + d.index(), base + a.index());
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            });
+        }
+
+        // --- Taint & allocation marking ------------------------------------
+        let mut taint_seeds: Vec<usize> = Vec::new();
+        let mut alloc_seeds: Vec<usize> = Vec::new();
+        for (fid, f) in prog.iter_functions() {
+            let base = offsets[fid.index()];
+            for (v, decl) in f.iter_vars() {
+                if decl.shared {
+                    taint_seeds.push(base + v.index());
+                }
+            }
+            collect_taints(
+                prog,
+                f,
+                &f.body,
+                false,
+                base,
+                &offsets,
+                &ret_vars,
+                &mut taint_seeds,
+                &mut alloc_seeds,
+            );
+        }
+        for (fid, f) in prog.iter_functions() {
+            if n_sites[fid.index()] == 0 {
+                let base = offsets[fid.index()];
+                for &p in &f.params {
+                    if f.var(p).ty.is_ptr() {
+                        taint_seeds.push(base + p.index());
+                    }
+                }
+            }
+        }
+
+        let mut tainted = vec![force_shared; total];
+        for s in taint_seeds {
+            let r = uf.find(s);
+            tainted[r] = true;
+        }
+        let mut has_alloc = vec![false; total];
+        for s in alloc_seeds {
+            let r = uf.find(s);
+            has_alloc[r] = true;
+        }
+        let rep: Vec<usize> = (0..total).map(|i| uf.find(i)).collect();
+        let node_local: Vec<bool> = (0..total)
+            .map(|i| rep[i] == i && !tainted[i] && has_alloc[i])
+            .collect();
+
+        // Region counters, over classes containing at least one pointer var.
+        let mut seen = vec![false; total];
+        let mut regions_node_local = 0;
+        let mut regions_shared = 0;
+        for (fid, f) in prog.iter_functions() {
+            let base = offsets[fid.index()];
+            for (v, decl) in f.iter_vars() {
+                if !decl.ty.is_ptr() {
+                    continue;
+                }
+                let r = rep[base + v.index()];
+                if !seen[r] {
+                    seen[r] = true;
+                    if node_local[r] {
+                        regions_node_local += 1;
+                    } else {
+                        regions_shared += 1;
+                    }
+                }
+            }
+        }
+
+        // --- Upgrades ------------------------------------------------------
+        let affinity = if force_shared {
+            AffinityLocals::empty(funcs.len())
+        } else {
+            affinity::compute(prog)
+        };
+        let mut upgrades: Vec<Vec<EscapeJustification>> = vec![Vec::new(); funcs.len()];
+        if !force_shared {
+            for (fid, f) in prog.iter_functions() {
+                let base = offsets[fid.index()];
+                for (v, decl) in f.iter_vars() {
+                    if !decl.ty.is_ptr() || decl.locality != Locality::MaybeRemote {
+                        continue;
+                    }
+                    let j = if node_local[rep[base + v.index()]] {
+                        Some(EscapeJustification {
+                            var: v,
+                            var_name: decl.name.clone(),
+                            verdict: EscapeVerdict::NodeLocal,
+                            param_index: None,
+                        })
+                    } else if affinity.is_local(fid, v) {
+                        Some(EscapeJustification {
+                            var: v,
+                            var_name: decl.name.clone(),
+                            verdict: EscapeVerdict::OwnerConfined,
+                            param_index: f.params.iter().position(|&p| p == v),
+                        })
+                    } else {
+                        None
+                    };
+                    if let Some(j) = j {
+                        upgrades[fid.index()].push(j);
+                    }
+                }
+            }
+        }
+
+        EscapeAnalysis {
+            offsets,
+            rep,
+            node_local,
+            affinity,
+            upgrades,
+            regions_node_local,
+            regions_shared,
+        }
+    }
+
+    /// Whether `v`'s region (in function `fid`) is proven `NodeLocal`.
+    pub fn region_is_node_local(&self, fid: FuncId, v: VarId) -> bool {
+        self.node_local[self.rep[self.offsets[fid.index()] + v.index()]]
+    }
+
+    /// The lattice verdict for one variable: its region's verdict, refined
+    /// to `OwnerConfined` when the affinity fixpoint proves the variable
+    /// itself node-local.
+    pub fn verdict(&self, fid: FuncId, v: VarId) -> EscapeVerdict {
+        if self.region_is_node_local(fid, v) {
+            EscapeVerdict::NodeLocal
+        } else if self.affinity.is_local(fid, v) {
+            EscapeVerdict::OwnerConfined
+        } else {
+            EscapeVerdict::Shared
+        }
+    }
+
+    /// The affinity (owner-confined) half of the result.
+    pub fn affinity(&self) -> &AffinityLocals {
+        &self.affinity
+    }
+
+    /// The locality upgrades the optimizer may apply in function `fid`.
+    pub fn upgrades_for(&self, fid: FuncId) -> &[EscapeJustification] {
+        &self.upgrades[fid.index()]
+    }
+
+    /// Total number of upgradable variables across the program.
+    pub fn total_upgrades(&self) -> usize {
+        self.upgrades.iter().map(Vec::len).sum()
+    }
+
+    /// Applies the upgrades for `fid` to (a clone of) its function,
+    /// returning the justifications for the `MotionLog`.
+    pub fn apply(&self, fid: FuncId, func: &mut Function) -> Vec<EscapeJustification> {
+        let ups = &self.upgrades[fid.index()];
+        for j in ups {
+            func.var_mut(j.var).locality = Locality::Local;
+        }
+        ups.clone()
+    }
+}
+
+/// Recursive taint walk; `in_par` is true inside `forall` bodies and
+/// ParSeq arms, where any mentioned pointer conservatively escapes.
+#[allow(clippy::too_many_arguments)]
+fn collect_taints(
+    prog: &Program,
+    f: &Function,
+    s: &Stmt,
+    in_par: bool,
+    base: usize,
+    offsets: &[usize],
+    ret_vars: &[Vec<VarId>],
+    taints: &mut Vec<usize>,
+    allocs: &mut Vec<usize>,
+) {
+    let mut rec = |child: &Stmt, par: bool| {
+        collect_taints(prog, f, child, par, base, offsets, ret_vars, taints, allocs)
+    };
+    match &s.kind {
+        StmtKind::Seq(ss) => ss.iter().for_each(|c| rec(c, in_par)),
+        StmtKind::ParSeq(ss) => ss.iter().for_each(|c| rec(c, true)),
+        StmtKind::If { then_s, else_s, .. } => {
+            rec(then_s, in_par);
+            rec(else_s, in_par);
+        }
+        StmtKind::Switch { cases, default, .. } => {
+            cases.iter().for_each(|(_, c)| rec(c, in_par));
+            rec(default, in_par);
+        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => rec(body, in_par),
+        StmtKind::Forall {
+            init, step, body, ..
+        } => {
+            rec(init, true);
+            rec(step, true);
+            rec(body, true);
+        }
+        StmtKind::Basic(b) => {
+            let is_ptr = |v: VarId| f.var(v).ty.is_ptr();
+            if in_par {
+                // Distributed/concurrent context: every pointer mentioned
+                // may be dereferenced away from its allocating node.
+                for v in basic_pointer_vars(b, f) {
+                    taints.push(base + v.index());
+                }
+            }
+            match b {
+                Basic::Assign {
+                    dst,
+                    src: Rvalue::Malloc { on, .. },
+                } => {
+                    let d = match dst {
+                        Place::Var(d) => *d,
+                        Place::Mem(m) => m.base(),
+                    };
+                    if on.is_some() {
+                        taints.push(base + d.index());
+                    } else if !in_par {
+                        allocs.push(base + d.index());
+                    }
+                }
+                Basic::Call {
+                    dst,
+                    func,
+                    args,
+                    at: Some(_),
+                } => {
+                    // A placed call executes on another node: everything
+                    // bound across it escapes — caller-side arguments and
+                    // destination, callee-side parameters and returns.
+                    for a in args {
+                        if let Operand::Var(v) = a {
+                            if is_ptr(*v) {
+                                taints.push(base + v.index());
+                            }
+                        }
+                    }
+                    if let Some(d) = dst {
+                        if is_ptr(*d) {
+                            taints.push(base + d.index());
+                        }
+                    }
+                    let callee = prog.function(*func);
+                    let cbase = offsets[func.index()];
+                    for &p in &callee.params {
+                        if callee.var(p).ty.is_ptr() {
+                            taints.push(cbase + p.index());
+                        }
+                    }
+                    for &r in &ret_vars[func.index()] {
+                        taints.push(cbase + r.index());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Every pointer variable syntactically mentioned by a basic statement.
+fn basic_pointer_vars(b: &Basic, f: &Function) -> Vec<VarId> {
+    let mut out = Vec::new();
+    let mut push = |v: VarId| {
+        if f.var(v).ty.is_ptr() {
+            out.push(v);
+        }
+    };
+    for op in b.operands() {
+        if let Operand::Var(v) = op {
+            push(v);
+        }
+    }
+    match b {
+        Basic::Assign { dst, src } => {
+            match dst {
+                Place::Var(d) => push(*d),
+                Place::Mem(m) => push(m.base()),
+            }
+            if let Rvalue::Load(m) = src {
+                push(m.base());
+            }
+        }
+        Basic::Call { dst, at, .. } => {
+            if let Some(d) = dst {
+                push(*d);
+            }
+            if let Some(AtTarget::OwnerOf(o)) = at {
+                push(*o);
+            }
+        }
+        Basic::BlkMov { ptr, buf, .. } => {
+            push(*ptr);
+            push(*buf);
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use earth_frontend::compile;
+
+    fn escape_of(src: &str) -> (Program, EscapeAnalysis) {
+        let prog = compile(src).unwrap();
+        let analysis = analyze(&prog);
+        let esc = EscapeAnalysis::compute(&prog, &analysis.summaries);
+        (prog, esc)
+    }
+
+    const LIST_WALK: &str = r#"
+        struct N { N* next; int v; };
+        int walk(N *list) {
+            N *p;
+            int acc;
+            acc = 0;
+            p = list;
+            while (p != NULL) {
+                acc = acc + p->v;
+                p = p->next;
+            }
+            return acc;
+        }
+        int main() {
+            N *head;
+            N *n;
+            int i;
+            int t;
+            head = NULL;
+            i = 0;
+            while (i < 8) {
+                n = malloc(sizeof(N));
+                n->v = i;
+                n->next = head;
+                head = n;
+                i = i + 1;
+            }
+            t = walk(head);
+            return t;
+        }
+    "#;
+
+    #[test]
+    fn node_local_region_upgrades_through_loads() {
+        let (prog, esc) = escape_of(LIST_WALK);
+        let walk = prog.function_by_name("walk").unwrap();
+        let f = prog.function(walk);
+        let p = f.var_by_name("p").unwrap();
+        let list = f.var_by_name("list").unwrap();
+        // The load-derived cursor — the case locality inference forbids —
+        // is provably node-local here.
+        assert_eq!(esc.verdict(walk, p), EscapeVerdict::NodeLocal);
+        assert_eq!(esc.verdict(walk, list), EscapeVerdict::NodeLocal);
+        let names: Vec<&str> = esc
+            .upgrades_for(walk)
+            .iter()
+            .map(|j| j.var_name.as_str())
+            .collect();
+        assert!(names.contains(&"p") && names.contains(&"list"));
+        assert!(esc.regions_node_local >= 1);
+    }
+
+    #[test]
+    fn malloc_on_taints_the_whole_region() {
+        let (prog, esc) = escape_of(
+            r#"
+            struct N { N* next; int v; };
+            int main() {
+                N *head;
+                N *n;
+                N *p;
+                int acc;
+                head = malloc_on(1, sizeof(N));
+                n = malloc(sizeof(N));
+                n->next = head;
+                acc = 0;
+                p = n;
+                while (p != NULL) {
+                    acc = acc + p->v;
+                    p = p->next;
+                }
+                return acc;
+            }
+        "#,
+        );
+        let main = prog.function_by_name("main").unwrap();
+        let f = prog.function(main);
+        // The whole region is tainted: no variable in it is NodeLocal, so
+        // the load-derived cursor stays remote.
+        for name in ["head", "n", "p"] {
+            let v = f.var_by_name(name).unwrap();
+            assert!(!esc.region_is_node_local(main, v), "{name}");
+        }
+        assert_eq!(
+            esc.verdict(main, f.var_by_name("head").unwrap()),
+            EscapeVerdict::Shared
+        );
+        assert_eq!(
+            esc.verdict(main, f.var_by_name("p").unwrap()),
+            EscapeVerdict::Shared
+        );
+        // `n` still points at its own plain malloc: owner-confined, the
+        // same upgrade locality inference Rule 2 would grant.
+        assert_eq!(
+            esc.verdict(main, f.var_by_name("n").unwrap()),
+            EscapeVerdict::OwnerConfined
+        );
+    }
+
+    #[test]
+    fn placed_call_taints_across_the_boundary() {
+        let src = r#"
+            struct N { N* next; int v; };
+            int peek(N *q) { return q->v; }
+            int main() {
+                N *head;
+                int t;
+                head = malloc(sizeof(N));
+                head->v = 3;
+                t = peek(head) @ 1;
+                return t;
+            }
+        "#;
+        let (prog, esc) = escape_of(src);
+        let main = prog.function_by_name("main").unwrap();
+        let peek = prog.function_by_name("peek").unwrap();
+        let head = prog.function(main).var_by_name("head").unwrap();
+        let q = prog.function(peek).var_by_name("q").unwrap();
+        // The placed call taints the region on both sides of the boundary,
+        // so the callee's parameter stays remote...
+        assert!(!esc.region_is_node_local(main, head));
+        assert_eq!(esc.verdict(peek, q), EscapeVerdict::Shared);
+        // ... while the caller's own pointer still targets its plain local
+        // malloc (owner-confined), exactly like locality inference today.
+        assert_eq!(esc.verdict(main, head), EscapeVerdict::OwnerConfined);
+    }
+
+    #[test]
+    fn unplaced_call_keeps_the_region_node_local() {
+        let (prog, esc) = escape_of(LIST_WALK);
+        let main = prog.function_by_name("main").unwrap();
+        let head = prog.function(main).var_by_name("head").unwrap();
+        assert_eq!(esc.verdict(main, head), EscapeVerdict::NodeLocal);
+    }
+
+    #[test]
+    fn parseq_access_taints() {
+        let (prog, esc) = escape_of(
+            r#"
+            struct N { N* next; int v; };
+            int main() {
+                N *a;
+                int x;
+                int y;
+                a = malloc(sizeof(N));
+                {^
+                    x = a->v;
+                    y = 2;
+                ^}
+                return x + y;
+            }
+        "#,
+        );
+        let main = prog.function_by_name("main").unwrap();
+        let a = prog.function(main).var_by_name("a").unwrap();
+        // Cross-arm access disqualifies the *region* (no through-load
+        // upgrades); the direct malloc'd pointer itself remains
+        // owner-confined, as under today's inference.
+        assert!(!esc.region_is_node_local(main, a));
+        assert_eq!(esc.verdict(main, a), EscapeVerdict::OwnerConfined);
+    }
+
+    #[test]
+    fn owner_confined_param_gets_param_index() {
+        let (prog, esc) = escape_of(
+            r#"
+            struct N { N* next; int v; };
+            int peek(N *p) { return p->v; }
+            int drive(N *q) {
+                int t;
+                t = peek(q) @ OWNER_OF(q);
+                return t;
+            }
+        "#,
+        );
+        let peek = prog.function_by_name("peek").unwrap();
+        let ups = esc.upgrades_for(peek);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].verdict, EscapeVerdict::OwnerConfined);
+        assert_eq!(ups[0].param_index, Some(0));
+        assert_eq!(ups[0].var_name, "p");
+    }
+
+    #[test]
+    fn forced_shared_produces_no_upgrades() {
+        let prog = compile(LIST_WALK).unwrap();
+        let analysis = analyze(&prog);
+        let esc = EscapeAnalysis::forced_shared(&prog, &analysis.summaries);
+        assert_eq!(esc.total_upgrades(), 0);
+        assert_eq!(esc.regions_node_local, 0);
+        for (fid, f) in prog.iter_functions() {
+            for (v, decl) in f.iter_vars() {
+                if decl.ty.is_ptr() {
+                    assert_eq!(esc.verdict(fid, v), EscapeVerdict::Shared);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn already_local_vars_are_not_reupgraded() {
+        let (prog, esc) = escape_of(
+            r#"
+            struct N { N* next; int v; };
+            int main() {
+                N local *a;
+                a = malloc(sizeof(N));
+                a->v = 1;
+                return a->v;
+            }
+        "#,
+        );
+        let main = prog.function_by_name("main").unwrap();
+        assert!(esc.upgrades_for(main).is_empty());
+    }
+}

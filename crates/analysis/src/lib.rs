@@ -10,6 +10,10 @@
 //! * [`rw_sets`] — hierarchical read/write sets decorating every basic and
 //!   compound statement;
 //! * [`locality`] — locality inference upgrading provably-local pointers;
+//! * [`escape`] / [`affinity`] — whole-program escape & node-affinity
+//!   analysis classifying heap regions as node-local, owner-confined or
+//!   shared, licensing locality upgrades *through loads* (behind
+//!   `--escape on`);
 //! * [`ptprob`] — probability-annotated alias/frequency facts (structural
 //!   branch heuristics blended with measured frequencies) and [`induction`]
 //!   — loop pointer-induction recognition; both weight the optimizer's
@@ -45,16 +49,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod affinity;
 pub mod cache;
 pub mod effects;
+pub mod escape;
 pub mod induction;
 pub mod locality;
 pub mod ptprob;
 pub mod rw_sets;
 mod uf;
 
+pub use affinity::AffinityLocals;
 pub use cache::{AnalysisCache, CacheStats};
 pub use effects::{analyze_effects, reanalyze_function, Regions, Root, Summary};
+pub use escape::{EscapeAnalysis, EscapeJustification, EscapeVerdict};
 pub use induction::{find_pointer_inductions, PointerInduction};
 pub use locality::{infer_locality, LocalityReport};
 pub use ptprob::{MeasuredFreqs, ProbFacts};

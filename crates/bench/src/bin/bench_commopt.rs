@@ -1,7 +1,7 @@
 //! Alias-mode ablation over the Olden suite, emitting the repo's
 //! `BENCH_commopt.json` perf artifact: per-kernel communication volume and
 //! virtual time for simple vs static (binary alias) vs prob-alias vs
-//! profile-fed prob-alias builds.
+//! profile-fed prob-alias vs escape-analysis builds.
 //!
 //! ```text
 //! cargo run --release --bin bench_commopt -- [--test|--small|--full] [--nodes N] [--out FILE]
@@ -37,6 +37,14 @@ fn main() {
         .count();
     println!(
         "prob-alias reduces comm vs static on {improved}/{} kernels",
+        results.len()
+    );
+    let esc_improved = results
+        .iter()
+        .filter(|r| r.variant("escape").comm < r.variant("static").comm)
+        .count();
+    println!(
+        "escape analysis reduces comm vs static on {esc_improved}/{} kernels",
         results.len()
     );
     let json = to_json(&results, preset, nodes);

@@ -1,5 +1,5 @@
 //! The alias-mode ablation behind the repo's `BENCH_commopt.json` artifact:
-//! per-Olden-kernel communication volume and virtual time for the four
+//! per-Olden-kernel communication volume and virtual time for the five
 //! builds
 //!
 //! * `simple` — no communication optimization,
@@ -9,19 +9,23 @@
 //!   inductions may relax the blocking gate,
 //! * `pgo` — prob-alias mode fed a measured profile (instrument →
 //!   simulate → recompile), so measured branch/trip frequencies replace
-//!   the heuristics.
+//!   the heuristics,
+//! * `escape` — whole-program escape & node-affinity analysis
+//!   ([`EscapeMode::On`]): regions proven node-local or owner-confined
+//!   stop communicating entirely (upgrades only *remove* remote ops, so
+//!   `escape` comm never exceeds `static`).
 //!
 //! Every variant's simulator result is asserted equal to the simple
 //! build's, so the artifact doubles as a differential-correctness sweep.
 
 use crate::ablation::VariantResult;
 use crate::pgo::collect_profile;
-use earth_commopt::{AliasMode, CommOptConfig, ProfileDb};
+use earth_commopt::{AliasMode, CommOptConfig, EscapeMode, ProfileDb};
 use earth_olden::{run, Benchmark, Build, Preset};
 use std::sync::Arc;
 
-/// Per-kernel results for the four builds, in `simple`, `static`, `prob`,
-/// `pgo` order.
+/// Per-kernel results for the five builds, in `simple`, `static`, `prob`,
+/// `pgo`, `escape` order.
 #[derive(Debug, Clone)]
 pub struct CommOptResult {
     /// Benchmark name.
@@ -40,7 +44,7 @@ impl CommOptResult {
     }
 }
 
-/// Runs the four builds of one benchmark, asserting result agreement.
+/// Runs the five builds of one benchmark, asserting result agreement.
 pub fn run_commopt(bench: &Benchmark, preset: Preset, n_nodes: u16) -> CommOptResult {
     let simple = run(bench, &Build::Simple, preset, n_nodes).expect("simple run");
     let profile = collect_profile(bench, preset, n_nodes);
@@ -58,6 +62,13 @@ pub fn run_commopt(bench: &Benchmark, preset: Preset, n_nodes: u16) -> CommOptRe
             CommOptConfig {
                 alias: AliasMode::Prob,
                 profile: Some(Arc::new(ProfileDb::new(profile))),
+                ..CommOptConfig::default()
+            },
+        ),
+        (
+            "escape",
+            CommOptConfig {
+                escape: EscapeMode::On,
                 ..CommOptConfig::default()
             },
         ),
@@ -152,6 +163,42 @@ mod tests {
         }
     }
 
+    /// Escape upgrades only ever delete communication, so the `escape`
+    /// build's comm volume is bounded by `static` everywhere — and on the
+    /// list-heavy kernels it drops strictly below it.
+    #[test]
+    fn escape_reduces_comm_on_health_and_tsp() {
+        for name in ["health", "tsp"] {
+            let bench = by_name(name).unwrap();
+            let r = run_commopt(&bench, Preset::Test, 2);
+            let st = r.variant("static");
+            let esc = r.variant("escape");
+            assert!(
+                esc.comm < st.comm,
+                "{name}: escape comm {} !< static comm {}",
+                esc.comm,
+                st.comm
+            );
+        }
+    }
+
+    /// The monotonicity half of the escape claim, over the whole suite.
+    #[test]
+    fn escape_never_exceeds_static_comm() {
+        for bench in earth_olden::suite() {
+            let r = run_commopt(&bench, Preset::Test, 2);
+            let st = r.variant("static");
+            let esc = r.variant("escape");
+            assert!(
+                esc.comm <= st.comm,
+                "{}: escape comm {} > static comm {}",
+                bench.name,
+                esc.comm,
+                st.comm
+            );
+        }
+    }
+
     #[test]
     fn json_contains_every_kernel_and_variant() {
         let bench = by_name("power").unwrap();
@@ -163,6 +210,7 @@ mod tests {
             "\"static\"",
             "\"prob\"",
             "\"pgo\"",
+            "\"escape\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -83,6 +83,25 @@ pub enum AliasMode {
     Prob,
 }
 
+/// Whether the whole-program escape & node-affinity analysis may upgrade
+/// pointer locality — including *through loads*, the case locality
+/// inference refuses — so placement drops the corresponding communication
+/// tuples entirely.
+///
+/// Like [`AliasMode`], this only relaxes what the optimizer *does*; every
+/// upgrade is recorded as an `EscapeJustification` in the `MotionLog` and
+/// independently re-derived by `earth-lint` (diagnostics `ESC001`–`ESC003`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EscapeMode {
+    /// No escape analysis: only declared/inferred `local` pointers compile
+    /// to local accesses (the paper's pipeline).
+    #[default]
+    Off,
+    /// Run `earth_analysis::escape` and apply its `NodeLocal` /
+    /// `OwnerConfined` upgrades before placement.
+    On,
+}
+
 /// Full optimizer configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommOptConfig {
@@ -131,6 +150,9 @@ pub struct CommOptConfig {
     /// Which alias/frequency analysis feeds the cost model
     /// (`--alias {binary,prob}`; default binary, the paper's analysis).
     pub alias: AliasMode,
+    /// Whether escape-analysis locality upgrades are applied before
+    /// placement (`--escape {on,off}`; default off).
+    pub escape: EscapeMode,
 }
 
 impl Default for CommOptConfig {
@@ -146,6 +168,7 @@ impl Default for CommOptConfig {
             enable_redundancy_elim: true,
             profile: None,
             alias: AliasMode::default(),
+            escape: EscapeMode::default(),
         }
     }
 }
@@ -373,6 +396,12 @@ mod tests {
     fn alias_mode_defaults_to_binary() {
         assert_eq!(CommOptConfig::default().alias, AliasMode::Binary);
         assert_eq!(AliasMode::default(), AliasMode::Binary);
+    }
+
+    #[test]
+    fn escape_mode_defaults_to_off() {
+        assert_eq!(CommOptConfig::default().escape, EscapeMode::Off);
+        assert_eq!(EscapeMode::default(), EscapeMode::Off);
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod rce;
 pub mod selection;
 pub mod transform;
 
-pub use config::{AliasMode, CommCostModel, CommOptConfig, FreqModel};
+pub use config::{AliasMode, CommCostModel, CommOptConfig, EscapeMode, FreqModel};
+pub use earth_analysis::{EscapeAnalysis, EscapeJustification, EscapeVerdict};
 pub use earth_profile::{FuncProfile, Profile, ProfileDb};
 pub use inline::{inline_functions, InlineConfig, InlineReport};
 pub use layout::{reorder_fields, LayoutReport};
@@ -152,10 +153,20 @@ fn optimize_function(
     prog: &Program,
     analysis: &ProgramAnalysis,
     cfg: &CommOptConfig,
+    escape: Option<&EscapeAnalysis>,
     fid: FuncId,
 ) -> (FuncId, Function, FnReport) {
     let fa = analysis.function(fid);
     let mut func = prog.function(fid).clone();
+    // Escape/affinity upgrades go in *before* placement: a pointer proven
+    // node-local (or owner-confined) stops being `MaybeRemote`, so its
+    // dereferences never enter the RCE sets and selection emits plain local
+    // ops instead of split-phase reads. The justifications ride along in
+    // the motion log for `earth-lint` to re-derive (ESC001–ESC003).
+    let escapes = match escape {
+        Some(esc) => esc.apply(fid, &mut func),
+        None => Vec::new(),
+    };
     // Resolve the profile (if any) against this function's sites *before*
     // selection rewrites the tree — the same pipeline point at which the
     // instrumented compile recorded them (see `earth_ir::site`).
@@ -169,7 +180,7 @@ fn optimize_function(
         )),
     };
     let placement = analyze_placement_with(&func, fa, &cfg.freq, view.as_ref(), facts.as_ref());
-    let plan = select_with(
+    let mut plan = select_with(
         prog,
         &mut func,
         fa,
@@ -178,6 +189,7 @@ fn optimize_function(
         view.as_ref(),
         facts.as_ref(),
     );
+    plan.motion.escapes = escapes;
     apply_plan(&mut func, &plan);
     let report = FnReport {
         func: fid,
@@ -206,14 +218,26 @@ pub fn optimize_program_with(
     workers: usize,
 ) -> OptReport {
     let mut report = OptReport::default();
-    if !cfg.enable_motion && !cfg.enable_blocking && !cfg.enable_redundancy_elim {
+    if !cfg.enable_motion
+        && !cfg.enable_blocking
+        && !cfg.enable_redundancy_elim
+        && cfg.escape == EscapeMode::Off
+    {
         return report;
     }
+    // The whole-program escape analysis is computed once, up front, against
+    // the pre-optimization program — every worker reads the same verdicts,
+    // which keeps the fan-out deterministic.
+    let escape = match cfg.escape {
+        EscapeMode::Off => None,
+        EscapeMode::On => Some(EscapeAnalysis::compute(prog, &analysis.summaries)),
+    };
+    let escape = escape.as_ref();
     let fids: Vec<FuncId> = prog.iter_functions().map(|(id, _)| id).collect();
     let workers = workers.clamp(1, fids.len().max(1));
     let mut results: Vec<(FuncId, Function, FnReport)> = if workers <= 1 {
         fids.iter()
-            .map(|&fid| optimize_function(prog, analysis, cfg, fid))
+            .map(|&fid| optimize_function(prog, analysis, cfg, escape, fid))
             .collect()
     } else {
         let shared: &Program = prog;
@@ -227,7 +251,7 @@ pub fn optimize_program_with(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&fid) = fids.get(i) else { break };
-                        local.push(optimize_function(shared, analysis, cfg, fid));
+                        local.push(optimize_function(shared, analysis, cfg, escape, fid));
                     }
                     collected.lock().unwrap().extend(local);
                 });
@@ -258,7 +282,11 @@ pub fn optimize_program_with(
 /// Panics if the optimizer produces invalid IR — a bug, guarded by the
 /// validator.
 pub fn optimize_program(prog: &mut Program, cfg: &CommOptConfig) -> OptReport {
-    if !cfg.enable_motion && !cfg.enable_blocking && !cfg.enable_redundancy_elim {
+    if !cfg.enable_motion
+        && !cfg.enable_blocking
+        && !cfg.enable_redundancy_elim
+        && cfg.escape == EscapeMode::Off
+    {
         return OptReport::default();
     }
     let analysis = earth_analysis::analyze(prog);
@@ -789,6 +817,78 @@ mod tests {
         let text = listing(&prob, "sum");
         assert!(text.contains("blkmov(p, &bcomm1, sizeof(*p));"), "{text}");
         assert!(text.contains("p = bcomm1.next"), "{text}");
+    }
+
+    /// Escape mode proves a plain-malloc'd list node-local through the
+    /// cursor's loads — the case locality inference forbids — so the walk
+    /// emits *no* communication at all, and every upgrade is recorded in
+    /// the motion log for the validator to re-derive.
+    #[test]
+    fn escape_mode_deletes_node_local_communication() {
+        let src = r#"
+            struct N { N* next; double v; };
+            double walk(N *head) {
+                N *p;
+                double acc;
+                acc = 0.0;
+                p = head;
+                while (p != NULL) {
+                    acc = acc + p->v;
+                    p = p->next;
+                }
+                return acc;
+            }
+            double main() {
+                N *head;
+                N *n;
+                int i;
+                head = NULL;
+                i = 0;
+                while (i < 8) {
+                    n = malloc(sizeof(N));
+                    n->v = 1.0;
+                    n->next = head;
+                    head = n;
+                    i = i + 1;
+                }
+                return walk(head);
+            }
+        "#;
+        // Baseline: the cursor is MaybeRemote, so the walk communicates.
+        let mut baseline = compile(src).unwrap();
+        let b_report = optimize_program(&mut baseline, &CommOptConfig::default());
+        assert!(b_report.total().reads_rewritten > 0);
+
+        // Escape mode: the whole region is node-local; zero remote ops
+        // remain and nothing needed to move.
+        let mut escaped = compile(src).unwrap();
+        let cfg = CommOptConfig {
+            escape: EscapeMode::On,
+            ..CommOptConfig::default()
+        };
+        let e_report = optimize_program(&mut escaped, &cfg);
+        assert_eq!(e_report.total().reads_rewritten, 0);
+        let (reads, writes, blks) = count_remote_ops(&escaped, "walk");
+        assert_eq!(
+            (reads, writes, blks),
+            (0, 0, 0),
+            "{}",
+            listing(&escaped, "walk")
+        );
+        assert!(e_report
+            .functions
+            .iter()
+            .all(|f| f.motion.motions.is_empty()));
+        let walk_fid = escaped.function_by_name("walk").unwrap();
+        let walk_log = &e_report
+            .functions
+            .iter()
+            .find(|f| f.func == walk_fid)
+            .unwrap()
+            .motion;
+        assert!(!walk_log.escapes.is_empty(), "upgrades must be recorded");
+        assert!(!walk_log.is_empty(), "escape-only logs are not empty");
+        assert!(walk_log.render().contains("escape-upgrade"));
     }
 
     /// Under a redundancy-only configuration the duplicate loads still

@@ -10,6 +10,7 @@
 //! * `fig10`-style experiment binaries can print an audit trail of the
 //!   optimizer's decisions.
 
+use earth_analysis::EscapeJustification;
 use earth_ir::{FieldId, Label, VarId};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -136,6 +137,11 @@ impl fmt::Display for Motion {
 pub struct MotionLog {
     /// Motions in the order they were decided.
     pub motions: Vec<Motion>,
+    /// Escape-analysis locality upgrades applied before placement
+    /// (`--escape on` only; empty otherwise). Each one licensed the
+    /// *removal* of communication rather than its motion, and is
+    /// re-derived by `earth-lint` (ESC001–ESC003).
+    pub escapes: Vec<EscapeJustification>,
 }
 
 impl MotionLog {
@@ -154,14 +160,18 @@ impl MotionLog {
         self.motions.len()
     }
 
-    /// `true` when nothing moved.
+    /// `true` when nothing moved *and* no locality upgrade was applied.
     pub fn is_empty(&self) -> bool {
-        self.motions.is_empty()
+        self.motions.is_empty() && self.escapes.is_empty()
     }
 
-    /// Multi-line rendering, one motion per line (for `fig10` debugging).
+    /// Multi-line rendering, one motion/upgrade per line (for `fig10`
+    /// debugging).
     pub fn render(&self) -> String {
         let mut out = String::new();
+        for j in &self.escapes {
+            out.push_str(&format!("escape-upgrade {j}\n"));
+        }
         for m in &self.motions {
             out.push_str(&m.to_string());
             out.push('\n');

@@ -4,8 +4,10 @@
 //! Every diagnostic code the workspace can emit has one [`RuleDoc`] entry
 //! here: the IR validator's `IR` codes ([`crate::validate`]), the parallel
 //! soundness linter's `PAR` codes (`earth-lint::races`), the placement
-//! translation validator's `PLC` codes (`earth-lint::verify`), and the
-//! probabilistic-justification `ALP` codes layered on top of them. Tests in
+//! translation validator's `PLC` codes (`earth-lint::verify`), the
+//! probabilistic-justification `ALP` codes layered on top of them, the
+//! escape-upgrade `ESC` codes (`earth-lint::verify`), and the
+//! dead-communication `DCM` codes (`earth-lint::dead_comm`). Tests in
 //! the emitting crates cross-check that every code they produce resolves
 //! through [`lookup`], so the registry cannot silently drift from the
 //! diagnostics.
@@ -49,6 +51,53 @@ pub const RULES: &[RuleDoc] = &[
         detail: "The continue probability recorded in an induction justification must be a \
                  probability. Values outside [0, 1] indicate a corrupted or hand-forged \
                  motion log and are rejected before any cost reasoning is trusted.",
+    },
+    RuleDoc {
+        code: "DCM001",
+        summary: "communication result is never used",
+        detail: "A split-phase communication temporary is assigned but its value is never \
+                 read anywhere in the function: the fetch is dead communication. The \
+                 optimizer only issues reads that cover at least one original access, so a \
+                 dead comm temporary in post-optimization IR indicates a selection or \
+                 transformation bug (or a hand-edited program).",
+    },
+    RuleDoc {
+        code: "DCM002",
+        summary: "duplicate communication on an already-synced handle",
+        detail: "Within one straight-line run of basic statements, a communication \
+                 temporary is overwritten by a second fetch while the first fetched value \
+                 was never read. The first fetch's sync was wasted — the same handle was \
+                 re-issued before anyone consumed it. Loop-carried reuse across iterations \
+                 is not flagged (the runs are distinct).",
+    },
+    RuleDoc {
+        code: "ESC001",
+        summary: "escape justification the analysis cannot re-derive",
+        detail: "Every locality upgrade applied under `--escape on` records the variable \
+                 and the claimed verdict (node-local or owner-confined). The validator \
+                 re-runs the whole-program escape and affinity analyses on the \
+                 pre-optimization IR and rejects any recorded upgrade it cannot reproduce \
+                 exactly — variable, verdict, and owner-binding evidence all have to \
+                 match. A fabricated upgrade would silently delete real communication.",
+    },
+    RuleDoc {
+        code: "ESC002",
+        summary: "demoted access reachable from a shared region",
+        detail: "An upgrade claims its pointer's heap region is node-local, but the \
+                 re-derived region analysis finds the region tainted: it escapes through \
+                 `malloc_on`, a placed call boundary, a parallel construct, or a shared \
+                 global. Dereferences of such a region may execute on a node other than \
+                 the allocating one, so deleting their communication is unsound.",
+    },
+    RuleDoc {
+        code: "ESC003",
+        summary: "owner-confined claim with mismatched owner binding",
+        detail: "An owner-confined upgrade asserts that a parameter is bound to a local \
+                 pointer at every call site — each site either places the call \
+                 `@ OWNER_OF(arg)` with the owner argument reaching the same region, or \
+                 passes an already-local value to an unplaced call. The recorded parameter \
+                 index must name the claimed variable and the binding rule must re-derive; \
+                 otherwise some call site can hand the function a remote pointer.",
     },
     RuleDoc {
         code: "IR001",
@@ -218,7 +267,7 @@ mod tests {
 
     #[test]
     fn families_are_complete() {
-        assert_eq!(families(), vec!["ALP", "IR", "PAR", "PLC"]);
+        assert_eq!(families(), vec!["ALP", "DCM", "ESC", "IR", "PAR", "PLC"]);
     }
 
     #[test]

@@ -464,6 +464,39 @@ impl Stmt {
         }
     }
 
+    /// Mutable depth-first pre-order traversal. The visitor may rewrite the
+    /// node in place (including replacing children wholesale); children are
+    /// walked *after* the visit, so newly inserted subtrees are visited too.
+    pub fn walk_mut(&mut self, visit: &mut dyn FnMut(&mut Stmt)) {
+        visit(self);
+        match &mut self.kind {
+            StmtKind::Seq(ss) | StmtKind::ParSeq(ss) => {
+                for s in ss {
+                    s.walk_mut(visit);
+                }
+            }
+            StmtKind::Basic(_) => {}
+            StmtKind::If { then_s, else_s, .. } => {
+                then_s.walk_mut(visit);
+                else_s.walk_mut(visit);
+            }
+            StmtKind::Switch { cases, default, .. } => {
+                for (_, s) in cases {
+                    s.walk_mut(visit);
+                }
+                default.walk_mut(visit);
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => body.walk_mut(visit),
+            StmtKind::Forall {
+                init, step, body, ..
+            } => {
+                init.walk_mut(visit);
+                step.walk_mut(visit);
+                body.walk_mut(visit);
+            }
+        }
+    }
+
     /// All labels of this statement and its descendants, in pre-order.
     pub fn labels(&self) -> Vec<Label> {
         let mut out = Vec::new();

@@ -10,10 +10,16 @@
 //!   moved operation's new and original placement invalidates it
 //!   (diagnostic codes `PLC001`–`PLC005`), and that every
 //!   probability-justified motion of prob-alias mode rests on a
-//!   re-derivable induction and binary-safe window (`ALP001`–`ALP003`);
+//!   re-derivable induction and binary-safe window (`ALP001`–`ALP003`),
+//!   and that every escape-analysis locality upgrade of `--escape on`
+//!   re-derives from a fresh whole-program escape/affinity run on the
+//!   pre-optimization IR (`ESC001`–`ESC003`);
 //! * [`races`] — the **parallel-soundness linter**: classifies every
 //!   `forall` and parallel sequence as *provably independent* or *possibly
-//!   racy* (codes `PAR000`–`PAR004`).
+//!   racy* (codes `PAR000`–`PAR004`);
+//! * [`dead_comm`] — the **dead-communication checker**: runs on
+//!   *post-optimization* IR and flags split-phase fetches whose results
+//!   are never consumed (`DCM001`–`DCM002`).
 //!
 //! Both produce [`earth_ir::Diagnostic`]s, renderable as pretty terminal
 //! output or machine-readable JSON.
@@ -39,20 +45,29 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dead_comm;
 pub mod races;
 pub mod verify;
 
 pub use races::{
     lint_function, lint_program, lint_program_with, ConstructVerdict, LintReport, ParallelConstruct,
 };
-pub use verify::verify_motions;
+pub use verify::{verify_escapes, verify_motions};
 
-use earth_analysis::{ProbFacts, ProgramAnalysis};
+use earth_analysis::{EscapeAnalysis, ProbFacts, ProgramAnalysis};
 use earth_commopt::{
     analyze_placement, analyze_placement_with, select, select_with, AliasMode, CommOptConfig,
-    FuncProfile,
+    EscapeMode, FuncProfile,
 };
 use earth_ir::{Diagnostic, Program};
+
+/// Every diagnostic code a checker in this crate can emit. Cross-checked
+/// against the [`earth_ir::rules`] registry by the validator test suite,
+/// so `earthcc lint --explain` can never lack an entry.
+pub const EMITTED_CODES: &[&str] = &[
+    "ALP001", "ALP002", "ALP003", "DCM001", "DCM002", "ESC001", "ESC002", "ESC003", "PAR000",
+    "PAR001", "PAR002", "PAR003", "PAR004", "PLC001", "PLC002", "PLC003", "PLC004", "PLC005",
+];
 
 /// Replays communication selection for every function of the
 /// **unoptimized** `prog` against a precomputed (cached) `analysis` and
@@ -67,11 +82,22 @@ pub fn verify_program_with(
     analysis: &ProgramAnalysis,
 ) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    // Independent re-derivation for `--escape on`: a fresh whole-program
+    // escape/affinity run on the pre-optimization IR, never the
+    // optimizer's own instance.
+    let escape = match cfg.escape {
+        EscapeMode::Off => None,
+        EscapeMode::On => Some(EscapeAnalysis::compute(prog, &analysis.summaries)),
+    };
     for (fid, f) in prog.iter_functions() {
         let fa = analysis.function(fid);
         // `select` adds temporaries to its function; the body (and thus
         // every original label) is untouched until `apply_plan`.
         let mut func = f.clone();
+        let escapes = match &escape {
+            Some(esc) => esc.apply(fid, &mut func),
+            None => Vec::new(),
+        };
         let plan = match cfg.alias {
             AliasMode::Binary => {
                 let placement = analyze_placement(&func, fa, &cfg.freq);
@@ -98,6 +124,13 @@ pub fn verify_program_with(
                 .into_iter()
                 .map(|d| d.in_func(&f.name)),
         );
+        if let Some(esc) = &escape {
+            out.extend(
+                verify::verify_escapes(prog, fid, &escapes, esc)
+                    .into_iter()
+                    .map(|d| d.in_func(&f.name)),
+            );
+        }
     }
     out
 }

@@ -36,6 +36,16 @@
 //! | `ALP002` | probability-justified motion with a binary-detectable conflict in its window |
 //! | `ALP003` | justification probability outside `[0, 1]`                   |
 //!
+//! Escape-upgrade justifications (`--escape on`) are re-derived by
+//! [`verify_escapes`] against a fresh whole-program escape/affinity run on
+//! the pre-optimization IR:
+//!
+//! | code     | meaning                                                      |
+//! |----------|--------------------------------------------------------------|
+//! | `ESC001` | escape justification the analysis cannot re-derive           |
+//! | `ESC002` | demoted access reachable from a shared region                |
+//! | `ESC003` | owner-confined claim with mismatched owner binding           |
+//!
 //! The window computation walks the structured statement tree in execution
 //! order. Loops already crossed by an active window contribute their whole
 //! subtree (a later iteration may execute any of it between issue and use);
@@ -44,9 +54,12 @@
 //! issue-to-use path); `ParSeq` arms run concurrently with an active window
 //! and are included wholesale.
 
-use earth_analysis::{find_pointer_inductions, AccessKind, FunctionAnalysis, PointerInduction};
+use earth_analysis::{
+    affinity, find_pointer_inductions, AccessKind, EscapeAnalysis, EscapeJustification,
+    EscapeVerdict, FunctionAnalysis, PointerInduction,
+};
 use earth_commopt::{Motion, MotionKind, MotionLog, ProbJustification};
-use earth_ir::{Diagnostic, Function, Label, Stmt, StmtKind};
+use earth_ir::{Diagnostic, FuncId, Function, Label, Program, Stmt, StmtKind};
 use std::collections::BTreeSet;
 
 /// Validates every motion in `log` against the pre-optimization `func`.
@@ -124,6 +137,94 @@ pub fn verify_motions(func: &Function, fa: &FunctionAnalysis, log: &MotionLog) -
                 )
                 .with_label(m.to_label, "motion anchored here")
                 .with_note(format!("motion: {m}")),
+            );
+        }
+    }
+    diags
+}
+
+/// Independently re-derives every escape-upgrade justification recorded
+/// for function `fid` against the **pre-optimization** program (`ESC`
+/// codes).
+///
+/// `rederived` must be the whole-program escape analysis re-computed from
+/// the unoptimized `prog` — never the optimizer's own instance. The checks
+/// are layered so each failure mode gets its own code:
+///
+/// * `ESC003` — an owner-confined parameter claim whose recorded index
+///   does not name the claimed variable, or whose owner-binding rule does
+///   not re-derive at every call site;
+/// * `ESC002` — a node-local claim whose heap region the re-derived
+///   region analysis finds tainted (shared);
+/// * `ESC001` — any other claim the re-run does not reproduce exactly
+///   (variable, verdict, and parameter evidence all have to match).
+pub fn verify_escapes(
+    prog: &Program,
+    fid: FuncId,
+    claims: &[EscapeJustification],
+    rederived: &EscapeAnalysis,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let func = prog.function(fid);
+    for c in claims {
+        let before = diags.len();
+        if c.verdict == EscapeVerdict::OwnerConfined {
+            if let Some(i) = c.param_index {
+                let names_var = func.params.get(i) == Some(&c.var);
+                if !names_var || !affinity::param_owner_bound(prog, rederived.affinity(), fid, i) {
+                    diags.push(
+                        Diagnostic::error(
+                            "ESC003",
+                            format!(
+                                "owner-confined upgrade of `{}` claims parameter {i} is \
+                                 owner-bound at every call site, but the binding rule \
+                                 does not re-derive",
+                                c.var_name
+                            ),
+                        )
+                        .with_note(format!("claim: {c}"))
+                        .with_note(
+                            "every call site must place the call @ OWNER_OF(arg) or \
+                             pass an already-local pointer to an unplaced call",
+                        ),
+                    );
+                }
+            }
+        }
+        if c.verdict == EscapeVerdict::NodeLocal && !rederived.region_is_node_local(fid, c.var) {
+            diags.push(
+                Diagnostic::error(
+                    "ESC002",
+                    format!(
+                        "upgrade claims the heap region of `{}` is node-local, but the \
+                         re-derived region analysis finds it shared",
+                        c.var_name
+                    ),
+                )
+                .with_note(format!("claim: {c}"))
+                .with_note(
+                    "the region escapes through malloc_on, a placed call boundary, a \
+                     parallel construct, or a shared global",
+                ),
+            );
+        }
+        // Only reach for the catch-all when no specific rule already
+        // rejected this claim — each hand-broken shape maps to one code.
+        if diags.len() == before && !rederived.upgrades_for(fid).contains(c) {
+            diags.push(
+                Diagnostic::error(
+                    "ESC001",
+                    format!(
+                        "recorded escape upgrade of `{}` ({}) cannot be re-derived from \
+                         the pre-optimization IR",
+                        c.var_name, c.verdict
+                    ),
+                )
+                .with_note(format!("claim: {c}"))
+                .with_note(
+                    "an escape upgrade must be independently re-derivable; a \
+                     fabricated upgrade silently deletes real communication",
+                ),
             );
         }
     }

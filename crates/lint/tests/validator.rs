@@ -164,6 +164,7 @@ fn unsound_motion_across_aliased_write_is_caught() {
     let (loads, fa) = loads_of(&prog, "f", "p", FieldId(0));
     assert_eq!(loads.len(), 2);
     let log = MotionLog {
+        escapes: vec![],
         motions: vec![Motion {
             base: f.var_by_name("p").unwrap(),
             base_name: "p".into(),
@@ -206,6 +207,7 @@ fn unsound_motion_across_base_redefinition_is_caught() {
     let (loads, fa) = loads_of(&prog, "f", "p", FieldId(0));
     assert_eq!(loads.len(), 2);
     let log = MotionLog {
+        escapes: vec![],
         motions: vec![Motion {
             base: f.var_by_name("p").unwrap(),
             base_name: "p".into(),
@@ -256,6 +258,7 @@ fn unsound_writeback_across_aliased_read_is_caught() {
     assert_eq!(stores.len(), 2);
     let analysis = earth_analysis::analyze(&prog);
     let log = MotionLog {
+        escapes: vec![],
         motions: vec![Motion {
             base: p,
             base_name: "p".into(),
@@ -288,6 +291,7 @@ fn malformed_motion_is_caught() {
     let f = prog.function(fid);
     let analysis = earth_analysis::analyze(&prog);
     let log = MotionLog {
+        escapes: vec![],
         motions: vec![Motion {
             base: f.var_by_name("p").unwrap(),
             base_name: "p".into(),
@@ -343,6 +347,7 @@ fn fabricated_induction_justification_is_caught() {
     let (loads, _) = loads_of(&prog, "sum", "p", FieldId(1));
     assert_eq!(loads.len(), 1);
     let log = MotionLog {
+        escapes: vec![],
         motions: vec![Motion {
             base: f.var_by_name("p").unwrap(),
             base_name: "p".into(),
@@ -414,6 +419,7 @@ fn probability_cannot_justify_a_binary_conflict() {
         .map(|(l, _)| *l)
         .expect("the q->v store");
     let log = MotionLog {
+        escapes: vec![],
         motions: vec![Motion {
             base: f.var_by_name("p").unwrap(),
             base_name: "p".into(),
@@ -474,6 +480,7 @@ fn out_of_range_probability_is_caught() {
     let ind = inds[0];
     let (loads, _) = loads_of(&prog, "sum", "p", FieldId(1));
     let log = MotionLog {
+        escapes: vec![],
         motions: vec![Motion {
             base: f.var_by_name("p").unwrap(),
             base_name: "p".into(),
@@ -540,14 +547,21 @@ fn prob_alias_motions_verify_cleanly() {
 #[test]
 fn every_emittable_code_is_documented() {
     // Cross-check: each code this crate can emit resolves in the registry
-    // behind `earthcc lint --explain`.
-    for code in [
-        "PLC001", "PLC002", "PLC003", "PLC004", "PLC005", "ALP001", "ALP002", "ALP003", "PAR000",
-        "PAR001", "PAR002", "PAR003", "PAR004",
-    ] {
+    // behind `earthcc lint --explain`. `EMITTED_CODES` is the crate's own
+    // declaration of what it can produce; keep it in sync with the
+    // checkers.
+    for code in earth_lint::EMITTED_CODES {
         let doc = earth_ir::rules::lookup(code);
         assert!(doc.is_some(), "{code} missing from earth_ir::rules");
         assert!(!doc.unwrap().summary.is_empty());
+    }
+    for family in ["PLC", "ALP", "PAR", "ESC", "DCM"] {
+        assert!(
+            earth_lint::EMITTED_CODES
+                .iter()
+                .any(|c| c.starts_with(family)),
+            "family {family} absent from EMITTED_CODES"
+        );
     }
 }
 
@@ -569,6 +583,7 @@ fn violations_round_trip_through_json() {
     let f = prog.function(fid);
     let (loads, fa) = loads_of(&prog, "f", "p", FieldId(0));
     let log = MotionLog {
+        escapes: vec![],
         motions: vec![Motion {
             base: f.var_by_name("p").unwrap(),
             base_name: "p".into(),
@@ -589,4 +604,139 @@ fn violations_round_trip_through_json() {
     let json = diag::to_json_array(&violations);
     let parsed = diag::from_json_array(&json).expect("valid JSON");
     assert_eq!(parsed, violations);
+}
+
+// ---------------------------------------------------------------------------
+// Escape-upgrade re-derivation (ESC001–ESC003)
+// ---------------------------------------------------------------------------
+
+/// A program with one genuine owner-confined upgrade (`sum`'s parameter,
+/// owner-bound at its only call site) and one region that must stay shared
+/// (`n`, allocated with `malloc_on`).
+const OWNED: &str = r#"
+    struct N { N* next; double v; };
+    double sum(N *c) {
+        double acc;
+        acc = c->v;
+        return acc;
+    }
+    double main() {
+        N *n;
+        double r;
+        n = malloc_on(1, sizeof(N));
+        n->v = 3.0;
+        r = sum(n) @ OWNER_OF(n);
+        return r;
+    }
+"#;
+
+#[test]
+fn genuine_escape_claims_verify_cleanly() {
+    use earth_analysis::EscapeAnalysis;
+    use earth_lint::verify_escapes;
+    let prog = compile(OWNED);
+    let analysis = earth_analysis::analyze(&prog);
+    let esc = EscapeAnalysis::compute(&prog, &analysis.summaries);
+    let sum = prog.function_by_name("sum").unwrap();
+    let claims = esc.upgrades_for(sum);
+    assert!(!claims.is_empty(), "sum's parameter must upgrade");
+    assert!(verify_escapes(&prog, sum, claims, &esc).is_empty());
+}
+
+#[test]
+fn fabricated_escape_claim_is_esc001() {
+    use earth_analysis::{EscapeAnalysis, EscapeJustification, EscapeVerdict};
+    use earth_lint::verify_escapes;
+    let prog = compile(OWNED);
+    let analysis = earth_analysis::analyze(&prog);
+    let esc = EscapeAnalysis::compute(&prog, &analysis.summaries);
+    let main = prog.function_by_name("main").unwrap();
+    // `n` escapes through malloc_on and never upgrades; claiming an
+    // owner-confined upgrade (without parameter evidence) is a fabrication
+    // caught by the catch-all re-derivation.
+    let n = prog.function(main).var_by_name("n").unwrap();
+    let claim = EscapeJustification {
+        var: n,
+        var_name: "n".into(),
+        verdict: EscapeVerdict::OwnerConfined,
+        param_index: None,
+    };
+    let diags = verify_escapes(&prog, main, &[claim], &esc);
+    assert_eq!(diags.len(), 1, "{}", diag::render_all(&diags));
+    assert_eq!(diags[0].code, "ESC001");
+}
+
+#[test]
+fn shared_region_claimed_node_local_is_esc002() {
+    use earth_analysis::{EscapeAnalysis, EscapeVerdict};
+    use earth_lint::verify_escapes;
+    let prog = compile(OWNED);
+    let analysis = earth_analysis::analyze(&prog);
+    let esc = EscapeAnalysis::compute(&prog, &analysis.summaries);
+    let sum = prog.function_by_name("sum").unwrap();
+    // Take the genuine owner-confined claim and inflate its verdict to
+    // node-local: the parameter's region reaches main's malloc_on.
+    let mut claim = esc.upgrades_for(sum)[0].clone();
+    claim.verdict = EscapeVerdict::NodeLocal;
+    claim.param_index = None;
+    let diags = verify_escapes(&prog, sum, &[claim], &esc);
+    assert_eq!(diags.len(), 1, "{}", diag::render_all(&diags));
+    assert_eq!(diags[0].code, "ESC002");
+}
+
+#[test]
+fn wrong_owner_binding_is_esc003() {
+    use earth_analysis::EscapeAnalysis;
+    use earth_lint::verify_escapes;
+    let prog = compile(OWNED);
+    let analysis = earth_analysis::analyze(&prog);
+    let esc = EscapeAnalysis::compute(&prog, &analysis.summaries);
+    let sum = prog.function_by_name("sum").unwrap();
+    // Point the parameter evidence at an index that does not name the
+    // claimed variable: the owner-binding rule cannot re-derive.
+    let mut claim = esc.upgrades_for(sum)[0].clone();
+    claim.param_index = Some(7);
+    let diags = verify_escapes(&prog, sum, &[claim], &esc);
+    assert_eq!(diags.len(), 1, "{}", diag::render_all(&diags));
+    assert_eq!(diags[0].code, "ESC003");
+}
+
+#[test]
+fn escape_mode_replay_verifies_cleanly_everywhere() {
+    use earth_commopt::EscapeMode;
+    // Zero ESC diagnostics across the example programs and the Olden
+    // suite, alone and combined with prob-alias.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../programs");
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("programs directory") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("ec") {
+            sources.push((
+                path.display().to_string(),
+                std::fs::read_to_string(&path).unwrap(),
+            ));
+        }
+    }
+    for bench in earth_olden::suite() {
+        sources.push((format!("olden:{}", bench.name), bench.source.to_string()));
+    }
+    for (name, src) in sources {
+        let prog = compile(&src);
+        for alias in [
+            earth_commopt::AliasMode::Binary,
+            earth_commopt::AliasMode::Prob,
+        ] {
+            let cfg = CommOptConfig {
+                escape: EscapeMode::On,
+                alias,
+                ..CommOptConfig::default()
+            };
+            let violations = verify_program(&prog, &cfg);
+            assert!(
+                violations.is_empty(),
+                "{name} ({alias:?}): {}",
+                diag::render_all(&violations)
+            );
+        }
+    }
 }

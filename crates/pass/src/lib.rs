@@ -54,8 +54,8 @@
 pub mod passes;
 
 pub use passes::{
-    FieldReorderPass, InlinePass, LocalityPass, OptimizePass, PgoPass, ProbAliasPass, RaceLintPass,
-    ValidateIrPass, VerifyPlacementPass,
+    EscapePass, FieldReorderPass, InlinePass, LocalityPass, OptimizePass, PgoPass, ProbAliasPass,
+    RaceLintPass, ValidateIrPass, VerifyPlacementPass,
 };
 
 use earth_analysis::{AnalysisCache, CacheStats};

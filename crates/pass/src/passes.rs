@@ -10,12 +10,13 @@
 //! | [`VerifyPlacementPass`] | analysis consumer | reads the cache; aborts on violations |
 //! | [`RaceLintPass`] | analysis consumer | reads the cache; records verdicts |
 //! | [`ProbAliasPass`] | analysis consumer | reads the cache; surveys probabilistic facts |
+//! | [`EscapePass`] | analysis consumer | reads the cache; surveys escape/affinity verdicts |
 //! | [`OptimizePass`] | transform | reads the cache, then invalidates per changed [`FuncId`](earth_ir::FuncId) |
 //! | [`PgoPass`] | transform | [`OptimizePass`] under a measured [`ProfileDb`]; same discipline |
 //! | [`ValidateIrPass`] | check | pure; aborts on IR errors |
 
 use crate::{Pass, PassReport};
-use earth_analysis::{AnalysisCache, ProbFacts};
+use earth_analysis::{AnalysisCache, EscapeAnalysis, ProbFacts};
 use earth_commopt::{
     inline_functions, optimize_program_with, reorder_fields, CommOptConfig, InlineConfig,
     OptReport, SelectionStats,
@@ -240,6 +241,41 @@ impl Pass for ProbAliasPass {
         }
         report.counter("sites_annotated", annotated);
         report.counter("inductions_found", inductions);
+        Ok(())
+    }
+}
+
+/// Whole-program escape & node-affinity survey (`--escape on`).
+///
+/// The optimizer computes its own [`EscapeAnalysis`] instance when it runs
+/// (once, before the per-function fan-out); this pass surfaces the same
+/// verdicts as pipeline counters *before* selection, so timing reports and
+/// drivers can see how much communication the escape upgrades stand to
+/// delete: how many allocation-site regions proved node-local, how many
+/// stayed shared, and how many `MaybeRemote` pointers are upgradable. It
+/// mutates nothing and invalidates nothing; cache awareness comes from
+/// [`OptimizePass`], whose per-function invalidation fires on escape-only
+/// changes because [`MotionLog::is_empty`](earth_commopt::MotionLog)
+/// accounts for recorded upgrades.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EscapePass;
+
+impl Pass for EscapePass {
+    fn name(&self) -> &'static str {
+        "escape"
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        cache: &mut AnalysisCache,
+        report: &mut PassReport,
+    ) -> Result<(), Vec<Diagnostic>> {
+        let analysis = cache.get(prog);
+        let esc = EscapeAnalysis::compute(prog, &analysis.summaries);
+        report.counter("regions_node_local", esc.regions_node_local as u64);
+        report.counter("regions_shared", esc.regions_shared as u64);
+        report.counter("vars_upgradable", esc.total_upgrades() as u64);
         Ok(())
     }
 }

@@ -1,0 +1,33 @@
+// Owner-confined list walk: every cell is allocated with a plain
+// malloc on the node that builds the list, the list head never escapes
+// to another node, and the walk runs unplaced on the same node.  The
+// binary optimizer still treats `c->v` / `c->next` as maybe-remote and
+// fetches them; whole-program escape analysis proves the whole region
+// node-local and deletes the communication outright:
+//   earthcc stats programs/orbit.ec --nodes 2
+//   earthcc stats programs/orbit.ec --nodes 2 --escape on
+struct body { body* next; double v; };
+
+double orbit(body *c) {
+    double acc;
+    acc = 0.0;
+    while (c != NULL) {
+        acc = acc + c->v;
+        c = c->next;
+    }
+    return acc;
+}
+
+double main(int n) {
+    body *head;
+    body *b;
+    int i;
+    head = NULL;
+    for (i = 0; i < n; i = i + 1) {
+        b = malloc(sizeof(body));
+        b->v = i + 1.0;
+        b->next = head;
+        head = b;
+    }
+    return orbit(head);
+}

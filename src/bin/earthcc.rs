@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! earthcc run  prog.ec [--nodes N] [--no-opt] [--no-locality] [--verify-placement]
-//!                      [--alias binary|prob] [--workers N] [--timings] [--report-json]
+//!                      [--alias binary|prob] [--escape on|off] [--workers N]
+//!                      [--timings] [--report-json]
 //!                      [--arg V]... [--profile-out FILE | --profile-in FILE]
 //! earthcc pgo  prog.ec [--nodes N] [--workers N] [--arg V]...   # instrument, run, recompile
 //! earthcc dump prog.ec [--simple | --optimized] [--func NAME]
 //! earthcc stats prog.ec [--nodes N] [--arg V]...   # simple vs optimized
 //! earthcc lint prog.ec [--json]        # parallel-soundness linter
 //! earthcc lint --explain <CODE|all>    # rule documentation (no input file)
-//! earthcc verify prog.ec [--json] [--alias binary|prob]
+//! earthcc verify prog.ec [--json] [--alias binary|prob] [--escape on|off]
 //! ```
 //!
 //! `--lint` and `--verify-placement` are accepted as aliases for the `lint`
@@ -21,8 +22,16 @@
 //! the blocking cost gate. Safety stays binary — `earthcc verify
 //! --alias prob` replays and independently re-checks every motion,
 //! including the `ALP` re-derivation of each probability-justified one.
-//! `earthcc lint --explain PLC002` (or any `IR`/`PAR`/`PLC`/`ALP` code)
-//! prints the rule's documentation; `--explain all` lists every rule.
+//! `earthcc lint --explain PLC002` (or any `IR`/`PAR`/`PLC`/`ALP`/`ESC`/
+//! `DCM` code) prints the rule's documentation; `--explain all` lists
+//! every rule.
+//!
+//! `--escape on` turns on the whole-program escape & node-affinity
+//! analysis: heap regions proven node-local (or owner-confined) stop
+//! compiling to split-phase communication entirely. `earthcc verify
+//! --escape on` re-derives every recorded upgrade from the
+//! pre-optimization IR (`ESC` codes) and additionally runs the
+//! dead-communication checker over the optimized output (`DCM` codes).
 //!
 //! Compilation runs under the pass manager: every enabled pass (locality,
 //! placement verification, race lint, optimization, IR validation) shares
@@ -35,7 +44,7 @@
 //! back into the optimizer and prints the `pgo:` accounting line;
 //! `earthcc pgo` does both in one shot and compares static vs profiled.
 
-use earthc::earth_commopt::{optimize_program, AliasMode, CommOptConfig};
+use earthc::earth_commopt::{optimize_program, AliasMode, CommOptConfig, EscapeMode};
 use earthc::earth_ir::{diag, pretty, Severity};
 use earthc::earth_serve::client::Client;
 use earthc::earth_serve::proto::{Arg, CompileOptions, Response};
@@ -45,7 +54,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--alias binary|prob] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]... [--profile-out FILE | --profile-in FILE]\n  earthcc pgo    <file.ec> [--nodes N] [--alias binary|prob] [--workers N] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--alias binary|prob] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--alias binary|prob] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc lint   --explain <CODE|all>\n  earthcc verify <file.ec> [--json] [--alias binary|prob]\n  earthcc serve  [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--spill DIR] [--deadline-ms N]\n  earthcc client <compile|run|pgo|lint|stats|ping|shutdown> [file.ec] --addr HOST:PORT [--nodes N] [--entry NAME] [--arg V]... [--no-opt] [--no-locality] [--use-profile] [--deadline-ms N]\n<file.ec> may be `olden:<name>` to target an embedded Olden kernel (power, tsp, health, perimeter, voronoi)"
+        "usage:\n  earthcc run    <file.ec> [--nodes N] [--no-opt] [--no-locality] [--verify-placement] [--alias binary|prob] [--escape on|off] [--workers N] [--timings] [--report-json] [--entry NAME] [--arg V]... [--profile-out FILE | --profile-in FILE]\n  earthcc pgo    <file.ec> [--nodes N] [--alias binary|prob] [--escape on|off] [--workers N] [--entry NAME] [--arg V]...\n  earthcc dump   <file.ec> [--optimized] [--alias binary|prob] [--escape on|off] [--fibers] [--func NAME]\n  earthcc stats  <file.ec> [--nodes N] [--alias binary|prob] [--escape on|off] [--entry NAME] [--arg V]...\n  earthcc lint   <file.ec> [--json]\n  earthcc lint   --explain <CODE|all>\n  earthcc verify <file.ec> [--json] [--alias binary|prob] [--escape on|off]\n  earthcc serve  [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--spill DIR] [--deadline-ms N]\n  earthcc client <compile|run|pgo|lint|stats|ping|shutdown> [file.ec] --addr HOST:PORT [--nodes N] [--entry NAME] [--arg V]... [--no-opt] [--no-locality] [--use-profile] [--deadline-ms N]\n<file.ec> may be `olden:<name>` to target an embedded Olden kernel (power, tsp, health, perimeter, voronoi)"
     );
     ExitCode::from(2)
 }
@@ -82,6 +91,7 @@ struct Opts {
     use_profile: bool,
     deadline_ms: Option<u64>,
     alias: AliasMode,
+    escape: EscapeMode,
 }
 
 impl Opts {
@@ -89,6 +99,7 @@ impl Opts {
     fn commopt_cfg(&self) -> CommOptConfig {
         CommOptConfig {
             alias: self.alias,
+            escape: self.escape,
             ..CommOptConfig::default()
         }
     }
@@ -116,6 +127,7 @@ fn parse_opts(rest: &[String], needs_file: bool) -> Result<Opts, String> {
         use_profile: false,
         deadline_ms: None,
         alias: AliasMode::Binary,
+        escape: EscapeMode::Off,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -166,6 +178,13 @@ fn parse_opts(rest: &[String], needs_file: bool) -> Result<Opts, String> {
                     other => {
                         return Err(format!("--alias must be `binary` or `prob`, got `{other}`"))
                     }
+                };
+            }
+            "--escape" => {
+                o.escape = match it.next().ok_or("--escape needs a value")?.as_str() {
+                    "on" => EscapeMode::On,
+                    "off" => EscapeMode::Off,
+                    other => return Err(format!("--escape must be `on` or `off`, got `{other}`")),
                 };
             }
             "--entry" => o.entry = it.next().ok_or("--entry needs a value")?.clone(),
@@ -647,7 +666,13 @@ fn main() -> ExitCode {
             if opts.locality {
                 earthc::earth_analysis::infer_locality(&mut prog);
             }
-            let violations = earth_lint::verify_program(&prog, &opts.commopt_cfg());
+            let mut violations = earth_lint::verify_program(&prog, &opts.commopt_cfg());
+            // Post-optimization dead-communication check: optimize a copy
+            // under the same configuration and flag fetches whose results
+            // are never consumed (DCM001/DCM002).
+            let mut optimized = prog.clone();
+            optimize_program(&mut optimized, &opts.commopt_cfg());
+            violations.extend(earth_lint::dead_comm::check_program(&optimized));
             if opts.json {
                 println!("{}", diag::to_json_array(&violations));
             } else if violations.is_empty() {

@@ -271,10 +271,11 @@ impl Pipeline {
     }
 
     /// Builds the pass pipeline this configuration describes, in order:
-    /// inline → field-reorder → locality → prob-alias → verify-placement →
-    /// race-lint → optimize → validate-ir (transform passes only when
-    /// enabled; `prob-alias` only under
-    /// [`AliasMode::Prob`](earth_commopt::AliasMode); with a
+    /// inline → field-reorder → locality → prob-alias → escape →
+    /// verify-placement → race-lint → optimize → validate-ir (transform
+    /// passes only when enabled; `prob-alias` only under
+    /// [`AliasMode::Prob`](earth_commopt::AliasMode); `escape` only under
+    /// [`EscapeMode::On`](earth_commopt::EscapeMode); with a
     /// [`profile`](Self::profile) set, optimize runs as `pgo-optimize`).
     pub fn pass_manager(&self) -> PassManager {
         let mut pm = PassManager::new();
@@ -292,6 +293,12 @@ impl Pipeline {
                 // Survey pass: surfaces annotation/induction counts from the
                 // shared cached analysis before selection consumes the facts.
                 pm.register(earth_pass::ProbAliasPass);
+            }
+            if cfg.escape == earth_commopt::EscapeMode::On {
+                // Survey pass: surfaces region/upgrade counts from the
+                // shared cached analysis before the optimizer deletes the
+                // corresponding communication.
+                pm.register(earth_pass::EscapePass);
             }
             if self.verify {
                 pm.register(earth_pass::VerifyPlacementPass::new(cfg.clone()));

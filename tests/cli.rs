@@ -101,6 +101,34 @@ fn client_compile_with_missing_file_is_a_single_line_error() {
 }
 
 #[test]
+fn explain_unknown_code_is_a_single_line_error() {
+    let out = earthcc(&["lint", "--explain", "NOSUCH999"]);
+    assert_single_error_line(&out, "unknown diagnostic code `NOSUCH999`");
+}
+
+#[test]
+fn bad_escape_mode_is_a_usage_error() {
+    let out = earthcc(&["stats", "programs/orbit.ec", "--escape", "bogus"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.starts_with("error: --escape must be `on` or `off`"),
+        "expected a leading `error:` line: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+#[test]
+fn verify_succeeds_with_escape_on() {
+    let out = earthcc(&["verify", "programs/orbit.ec", "--escape", "on"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn missing_subcommand_and_bad_flags_use_exit_code_2() {
     assert_eq!(earthcc(&[]).status.code(), Some(2));
     assert_eq!(earthcc(&["run"]).status.code(), Some(2), "no input file");
